@@ -1,0 +1,97 @@
+"""A5 -- ablation: the price of re-establishing the MH ring.
+
+Section 3.1.2: "Algorithm R1 is vulnerable to disconnection of any MH
+and requires the logical ring to be re-established amongst the
+remaining MHs when one or more MHs disconnect.  However, with R2,
+disconnection of a MH that has not submitted a request ... does not
+affect the rest of the system at all."
+
+The paper never prices the re-establishment; this ablation does.  One
+repair notifies every survivor of the new ring (N-1 searched
+deliveries) and re-routes the token -- versus R2's one returned token
+(a single fixed message) for a disconnected *requester* and exactly
+zero cost for a disconnected bystander.
+"""
+
+from __future__ import annotations
+
+from repro import Category, CriticalResource, R1Mutex, R2Mutex
+
+from conftest import COSTS, make_sim, print_table
+
+
+def run_r1_with_repairs(n: int, disconnects: int):
+    sim = make_sim(n_mss=n, n_mh=n)
+    resource = CriticalResource(sim.scheduler)
+    mutex = R1Mutex(sim.network, sim.mh_ids, resource,
+                    max_traversals=1, auto_repair=True)
+    for i in range(disconnects):
+        sim.mh(1 + i).disconnect()
+    sim.drain()
+    before = sim.metrics.snapshot()
+    mutex.start()
+    sim.drain()
+    delta = sim.metrics.since(before)
+    return {
+        "cost": delta.cost(COSTS, "R1"),
+        "searches": delta.total(Category.SEARCH, "R1"),
+        "repairs": mutex.repairs,
+        "finished": mutex.finished,
+    }
+
+
+def run_r2_with_disconnects(n: int, disconnects: int):
+    sim = make_sim(n_mss=n, n_mh=n)
+    resource = CriticalResource(sim.scheduler)
+    mutex = R2Mutex(sim.network, resource, max_traversals=1)
+    for i in range(disconnects):
+        sim.mh(1 + i).disconnect()
+    sim.drain()
+    before = sim.metrics.snapshot()
+    mutex.start()
+    sim.drain()
+    delta = sim.metrics.since(before)
+    return {
+        "cost": delta.cost(COSTS, "R2"),
+        "searches": delta.total(Category.SEARCH, "R2"),
+        "finished": mutex.finished,
+    }
+
+
+def test_a5_repair_cost_vs_r2(benchmark):
+    n = 8
+    counts = (0, 1, 3)
+    r1_results = {d: run_r1_with_repairs(n, d) for d in counts[:-1]}
+    r1_results[counts[-1]] = benchmark(
+        run_r1_with_repairs, n, counts[-1]
+    )
+    r2_results = {d: run_r2_with_disconnects(n, d) for d in counts}
+
+    rows = []
+    for d in counts:
+        rows.append((
+            d,
+            r1_results[d]["cost"],
+            r1_results[d]["repairs"],
+            r2_results[d]["cost"],
+        ))
+    print_table(
+        f"A5: traversal cost with disconnected bystanders, N=M={n}",
+        ["disconnected", "R1+repair", "repairs", "R2"],
+        rows,
+    )
+    baseline_r1 = r1_results[0]["cost"]
+    baseline_r2 = r2_results[0]["cost"]
+    for d in counts:
+        assert r1_results[d]["finished"]
+        assert r2_results[d]["finished"]
+        assert r1_results[d]["repairs"] == d
+        # Bystander disconnections cost R2 exactly nothing...
+        assert r2_results[d]["cost"] == baseline_r2
+        # ...while each R1 repair costs extra (notifications + token
+        # re-route), on top of a now-shorter traversal.
+        if d > 0:
+            assert r1_results[d]["cost"] > baseline_r1 - d * (
+                2 * COSTS.c_wireless + COSTS.c_search
+            )
+            assert r1_results[d]["searches"] > n - d

@@ -1,0 +1,130 @@
+"""A6 -- ablation: the FIFO burden of mobile endpoints.
+
+Section 3.1.1, on L1: "Correctness of the algorithm requires that
+messages are delivered in sequence (fifo) at a destination.  Since in
+L1 the source and destination of every message is a MH, this
+requirement places an additional burden on the underlying network
+protocols to maintain a logical fifo channel between any pair of MHs,
+regardless of their location in the network."
+
+Our substrate guarantees FIFO only *within* a residence (per-channel
+sequencing) -- it deliberately does not build logical end-to-end FIFO
+channels across moves, because the paper's two-tier algorithms never
+need them.  This ablation makes the burden concrete:
+
+* a message burst to a stationary MH arrives in order;
+* the same burst to a MH that moves mid-stream arrives scrambled
+  (searches and retries race);
+* L2 is immune by construction: each of its three wireless messages is
+  a one-shot delivery whose ordering with other executions is enforced
+  by the MSS tier, so heavy mobility never hurts safety or liveness;
+* L1 run under the same mobility loses liveness (requests stall when a
+  release overtakes its request), demonstrating why executing Lamport
+  directly on MHs needs the expensive logical-FIFO substrate.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import CriticalResource, L1Mutex, L2Mutex
+from repro.mobility import UniformMobility
+from repro.net.messages import Message
+from repro.workload import MutexWorkload
+
+from conftest import make_sim, print_table
+
+
+def run_burst(moves: bool):
+    sim = make_sim(n_mss=4, n_mh=1)
+    got = []
+    sim.mh(0).register_handler(
+        "a6.m", lambda message: got.append(message.payload)
+    )
+    for i in range(10):
+        sim.scheduler.schedule(
+            i * 0.3,
+            lambda i=i: sim.network.send_to_mh(
+                "mss-1",
+                "mh-0",
+                Message(kind="a6.m", src="mss-1", dst="mh-0",
+                        payload=i, scope="a6"),
+            ),
+        )
+    if moves:
+        sim.scheduler.schedule(1.0, lambda: sim.mh(0).move_to("mss-2"))
+        sim.scheduler.schedule(4.0, lambda: sim.mh(0).move_to("mss-3"))
+    sim.drain()
+    inversions = sum(
+        1
+        for i in range(len(got))
+        for j in range(i + 1, len(got))
+        if got[i] > got[j]
+    )
+    return {"received": len(got), "inversions": inversions}
+
+
+def run_mutex_under_mobility(algorithm: str, move_rate: float,
+                             seed: int = 11):
+    sim = make_sim(n_mss=6, n_mh=6, seed=seed)
+    resource = CriticalResource(sim.scheduler, raise_on_violation=False)
+    if algorithm == "L1":
+        mutex = L1Mutex(sim.network, sim.mh_ids, resource,
+                        cs_duration=0.3)
+    else:
+        mutex = L2Mutex(sim.network, resource, cs_duration=0.3)
+    workload = MutexWorkload(sim.network, mutex, sim.mh_ids,
+                             request_rate=0.04,
+                             rng=random.Random(seed + 1))
+    mobility = UniformMobility(sim.network, sim.mh_ids, move_rate,
+                               rng=random.Random(seed + 2))
+    sim.run(until=250.0)
+    workload.stop()
+    mobility.stop()
+    sim.run(until=2000.0)
+    return {
+        "issued": workload.issued,
+        "completed": workload.completed,
+        "violations": resource.violations,
+    }
+
+
+def test_a6_reordering_across_moves(benchmark):
+    stationary = run_burst(moves=False)
+    moving = benchmark(run_burst, True)
+    print_table(
+        "A6: delivery order of a 10-message burst to one MH",
+        ["destination", "received", "pair inversions"],
+        [
+            ("stationary", stationary["received"],
+             stationary["inversions"]),
+            ("moves twice mid-burst", moving["received"],
+             moving["inversions"]),
+        ],
+    )
+    assert stationary["received"] == 10
+    assert stationary["inversions"] == 0
+    assert moving["received"] == 10
+    # The burden is real: crossing cells scrambles the stream.
+    assert moving["inversions"] > 0
+
+
+def test_a6_l1_loses_liveness_l2_does_not(benchmark):
+    move_rate = 0.1
+    l1 = run_mutex_under_mobility("L1", move_rate)
+    l2 = benchmark(run_mutex_under_mobility, "L2", move_rate)
+    print_table(
+        f"A6b: Lamport under heavy mobility (move rate {move_rate}/MH)",
+        ["algorithm", "issued", "completed", "safety violations"],
+        [
+            ("L1 (needs FIFO MH channels)", l1["issued"],
+             l1["completed"], l1["violations"]),
+            ("L2 (MSS-tier ordering)", l2["issued"], l2["completed"],
+             l2["violations"]),
+        ],
+    )
+    # L2: every request completes, safety intact.
+    assert l2["completed"] == l2["issued"]
+    assert l2["violations"] == 0
+    # L1 without a logical-FIFO substrate degrades: requests stall.
+    assert l1["completed"] < l1["issued"]

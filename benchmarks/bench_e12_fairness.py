@@ -1,0 +1,119 @@
+"""E12 -- Section 3.1.2 "Variations": fairness of R2, R2' and R2''.
+
+Paper claims reproduced:
+* plain R2 lets a MH that moves ahead of the token be served at every
+  MSS it visits -- up to once per MSS per traversal;
+* R2' (token_val / access_count) limits an honest MH to one access per
+  traversal, restoring fairness at identical circulation cost;
+* a malicious MH that under-reports its access_count defeats R2' but
+  not R2'' (the token_list variant): after being served at MSS m, a
+  subsequent request is honoured only after the token visits every MSS
+  in the ring;
+* L2 grants strictly in init-timestamp order.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CriticalResource,
+    L2Mutex,
+    R2Mutex,
+    R2Variant,
+)
+
+from conftest import make_sim, print_table
+
+CHASE_TIMING = dict(
+    transit_time=0.1,
+    search_delay=0.1,
+    search_retry_delay=0.1,
+    fixed_latency=10.0,
+    wireless_latency=0.05,
+)
+
+
+def run_chase(variant: R2Variant, malicious: bool, traversals: int = 2):
+    """mh-0 chases the token: after each access it moves to the next
+    MSS in the ring and requests again before the token arrives."""
+    sim = make_sim(n_mss=4, n_mh=4, **CHASE_TIMING)
+    resource = CriticalResource(sim.scheduler)
+    mutex = R2Mutex(sim.network, resource, variant=variant,
+                    max_traversals=traversals)
+    if malicious:
+        mutex.malicious_mhs.add("mh-0")
+    mutex.request("mh-0")
+    sim.drain()
+    state = {"hops": 0}
+
+    def on_complete(mh_id):
+        state["hops"] += 1
+        if state["hops"] < 4:
+            next_mss = f"mss-{state['hops'] % 4}"
+            sim.mh(0).move_to(next_mss)
+            sim.scheduler.schedule(0.5, lambda: mutex.request("mh-0"))
+
+    mutex.on_complete = on_complete
+    mutex.start()
+    sim.drain()
+    per_traversal = {}
+    for record in resource.accesses:
+        token_val = record.info["token_val"]
+        per_traversal[token_val] = per_traversal.get(token_val, 0) + 1
+    return {
+        "total_accesses": resource.access_count,
+        "max_per_traversal": max(per_traversal.values(), default=0),
+    }
+
+
+def test_e12_fairness_of_ring_variants(benchmark):
+    scenarios = [
+        ("R2 plain, honest", R2Variant.PLAIN, False),
+        ("R2' counter, honest", R2Variant.COUNTER, False),
+        ("R2' counter, malicious", R2Variant.COUNTER, True),
+        ("R2'' token-list, malicious", R2Variant.TOKEN_LIST, True),
+    ]
+    results = {}
+    for label, variant, malicious in scenarios[:-1]:
+        results[label] = run_chase(variant, malicious)
+    label, variant, malicious = scenarios[-1]
+    results[label] = benchmark(run_chase, variant, malicious)
+
+    rows = [
+        (label, results[label]["total_accesses"],
+         results[label]["max_per_traversal"])
+        for label, _, _ in scenarios
+    ]
+    print_table(
+        "E12: accesses by a token-chasing MH (2 traversals)",
+        ["scenario", "accesses", "max/traversal"],
+        rows,
+    )
+    # Plain R2: multiple accesses within one traversal.
+    assert results["R2 plain, honest"]["max_per_traversal"] > 1
+    # R2' restores at-most-once per traversal for honest MHs.
+    assert results["R2' counter, honest"]["max_per_traversal"] == 1
+    # A lying MH breaks R2'...
+    assert results["R2' counter, malicious"]["max_per_traversal"] > 1
+    # ...but not R2''.
+    assert results["R2'' token-list, malicious"]["max_per_traversal"] == 1
+
+
+def test_e12_l2_grants_in_timestamp_order(benchmark):
+    def run():
+        sim = make_sim(n_mss=5, n_mh=10)
+        resource = CriticalResource(sim.scheduler)
+        mutex = L2Mutex(sim.network, resource, cs_duration=0.2)
+        for mh_id in sim.mh_ids:
+            mutex.request(mh_id)
+        sim.drain()
+        return [ts for (ts, _) in mutex.grant_log], resource
+
+    granted_ts, resource = benchmark(run)
+    print_table(
+        "E12b: L2 grant order vs request timestamps",
+        ["grants", "in ts order"],
+        [(len(granted_ts), granted_ts == sorted(granted_ts))],
+    )
+    assert len(granted_ts) == 10
+    assert granted_ts == sorted(granted_ts)
+    resource.assert_no_overlap()

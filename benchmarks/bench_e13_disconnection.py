@@ -1,0 +1,189 @@
+"""E13 -- disconnection and doze handling across the four algorithms.
+
+Paper claims reproduced:
+* L1 "does not provide for the disconnection of any MH": one detached
+  participant blocks every later execution;
+* L2 is unaffected by a bystander's disconnection, drops the request
+  of a requester that disconnected before its grant (proxy releases on
+  its behalf), and completes a disconnected holder's release as soon
+  as it reconnects;
+* R1 stalls the moment the token is addressed to a disconnected
+  member; R2 skips the disconnected requester (token returned by the
+  disconnect-cell MSS) and serves everyone else;
+* doze mode: R1 interrupts every dozing member per traversal, R2 only
+  wakes a MH to satisfy its own prior request.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CriticalResource,
+    L1Mutex,
+    L2Mutex,
+    R1Mutex,
+    R2Mutex,
+)
+
+from conftest import make_sim, print_table
+
+
+def run_l1_with_disconnect():
+    sim = make_sim(n_mss=5, n_mh=5)
+    resource = CriticalResource(sim.scheduler)
+    mutex = L1Mutex(sim.network, sim.mh_ids, resource)
+    sim.mh(4).disconnect()
+    sim.drain()
+    mutex.request("mh-0")
+    sim.run(until=400.0)
+    return {"accesses": resource.access_count,
+            "pending": len(mutex.node("mh-0").pending_tags())}
+
+
+def run_l2_with_disconnects():
+    sim = make_sim(n_mss=5, n_mh=5)
+    resource = CriticalResource(sim.scheduler)
+    mutex = L2Mutex(sim.network, resource, cs_duration=2.0)
+    # Bystander disconnects; requester mh-0 disconnects pre-grant;
+    # mh-1 proceeds normally.
+    sim.mh(4).disconnect()
+    sim.drain()
+    mutex.request("mh-0")
+    mutex.request("mh-1")
+    sim.mh(0).disconnect()
+    sim.drain()
+    served = [mh for (_, mh) in mutex.completed]
+    aborted = [mh for (_, mh) in mutex.aborted]
+    # Holder disconnects mid-region, reconnects later.
+    mutex.request("mh-2")
+    while resource.holder != "mh-2":
+        sim.scheduler.step()
+    sim.mh(2).disconnect()
+    sim.run(until=sim.now + 50.0)
+    blocked = len(mutex.completed) == len(served)
+    sim.mh(2).reconnect("mss-3")
+    sim.drain()
+    return {
+        "served": served,
+        "aborted": aborted,
+        "holder_release_blocked_until_reconnect": blocked,
+        "final_completed": [mh for (_, mh) in mutex.completed],
+        "violations": resource.violations,
+    }
+
+
+def run_r1_with_disconnect():
+    sim = make_sim(n_mss=5, n_mh=5)
+    resource = CriticalResource(sim.scheduler)
+    mutex = R1Mutex(sim.network, sim.mh_ids, resource, max_traversals=2)
+    sim.mh(2).disconnect()
+    sim.drain()
+    mutex.want("mh-3")
+    mutex.start()
+    sim.run(until=400.0)
+    return {
+        "stalled_on": mutex.stalled_on,
+        "accesses": resource.access_count,
+        "finished": mutex.finished,
+    }
+
+
+def run_r2_with_disconnect():
+    sim = make_sim(n_mss=5, n_mh=5)
+    resource = CriticalResource(sim.scheduler)
+    mutex = R2Mutex(sim.network, resource, max_traversals=2)
+    mutex.request("mh-1")
+    mutex.request("mh-3")
+    sim.drain()
+    sim.mh(1).disconnect()
+    sim.drain()
+    mutex.start()
+    sim.drain()
+    return {
+        "skipped": mutex.skipped_disconnected,
+        "served": resource.holders_in_order(),
+        "finished": mutex.finished,
+    }
+
+
+def test_e13_disconnection_handling(benchmark):
+    l1 = run_l1_with_disconnect()
+    l2 = run_l2_with_disconnects()
+    r1 = run_r1_with_disconnect()
+    r2 = benchmark(run_r2_with_disconnect)
+
+    print_table(
+        "E13: behaviour with a disconnected MH",
+        ["algorithm", "outcome"],
+        [
+            ("L1", f"blocked: 0 accesses, request still pending "
+                   f"({l1['pending']})"),
+            ("L2", f"served {l2['served']}, aborted {l2['aborted']}, "
+                   f"holder release waited for reconnect: "
+                   f"{l2['holder_release_blocked_until_reconnect']}"),
+            ("R1", f"stalled on {r1['stalled_on']}, "
+                   f"{r1['accesses']} accesses, finished: "
+                   f"{r1['finished']}"),
+            ("R2", f"skipped {r2['skipped']}, served {r2['served']}, "
+                   f"finished: {r2['finished']}"),
+        ],
+    )
+    # L1: total loss of progress.
+    assert l1["accesses"] == 0
+    assert l1["pending"] == 1
+    # L2: the connected requester was served, the disconnected one
+    # aborted, and the disconnected holder's release waited for its
+    # reconnect; safety held throughout.
+    assert l2["served"] == ["mh-1"]
+    assert l2["aborted"] == ["mh-0"]
+    assert l2["holder_release_blocked_until_reconnect"]
+    assert "mh-2" in l2["final_completed"]
+    assert l2["violations"] == 0
+    # R1: the ring stalls; the pending requester behind the hole never
+    # gets the token.
+    assert r1["stalled_on"] == "mh-2"
+    assert r1["accesses"] == 0
+    assert not r1["finished"]
+    # R2: the disconnected requester is skipped, the other served, and
+    # the ring completes its traversals.
+    assert r2["skipped"] == ["mh-1"]
+    assert r2["served"] == ["mh-3"]
+    assert r2["finished"]
+
+
+def test_e13_doze_interruptions(benchmark):
+    def run():
+        sim = make_sim(n_mss=6, n_mh=6)
+        resource = CriticalResource(sim.scheduler)
+        r1 = R1Mutex(sim.network, sim.mh_ids, resource,
+                     max_traversals=2, scope="R1")
+        for i in range(6):
+            sim.mh(i).doze()
+        r1.start()
+        sim.drain()
+        r1_interruptions = sum(
+            sim.mh(i).doze_interruptions for i in range(6)
+        )
+
+        sim2 = make_sim(n_mss=6, n_mh=6)
+        resource2 = CriticalResource(sim2.scheduler)
+        r2 = R2Mutex(sim2.network, resource2, max_traversals=2)
+        r2.request("mh-0")
+        sim2.drain()
+        for i in range(6):
+            sim2.mh(i).doze()
+        r2.start()
+        sim2.drain()
+        r2_interruptions = sum(
+            sim2.mh(i).doze_interruptions for i in range(6)
+        )
+        return r1_interruptions, r2_interruptions
+
+    r1_ints, r2_ints = benchmark(run)
+    print_table(
+        "E13b: doze interruptions over 2 traversals (all 6 MHs dozing)",
+        ["algorithm", "interruptions"],
+        [("R1", r1_ints), ("R2 (one requester)", r2_ints)],
+    )
+    # R1 interrupts every member every traversal; R2 only the requester.
+    assert r1_ints == 12
+    assert r2_ints == 1

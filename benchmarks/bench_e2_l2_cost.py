@@ -1,0 +1,79 @@
+"""E2 -- Section 3.1.1: the cost structure of Algorithm L2.
+
+Paper claims reproduced:
+* one execution costs
+  ``3*C_wireless + C_fixed + C_search + 3*(M-1)*C_fixed``
+  (the accounting assumes the requester moved before its grant);
+* exactly 3 wireless messages and exactly 1 search per execution;
+* the requester spends 3 energy units; every other MH spends none;
+* the cost is constant in N.
+"""
+
+from __future__ import annotations
+
+from repro import Category, CriticalResource, L2Mutex
+from repro.analysis import formulas
+
+from conftest import COSTS, make_sim, print_table
+
+
+def run_l2(n_mss: int, n_mh: int):
+    sim = make_sim(n_mss=n_mss, n_mh=n_mh)
+    resource = CriticalResource(sim.scheduler)
+    mutex = L2Mutex(sim.network, resource)
+    before = sim.metrics.snapshot()
+    mutex.request("mh-0")
+    sim.mh(0).move_to(sim.mss_id(2))  # the paper's nomadic requester
+    sim.drain()
+    delta = sim.metrics.since(before)
+    return {
+        "m": n_mss,
+        "n": n_mh,
+        "cost": delta.cost(COSTS, "L2"),
+        "wireless": delta.total(Category.WIRELESS, "L2"),
+        "searches": delta.total(Category.SEARCH, "L2"),
+        "fixed": delta.total(Category.FIXED, "L2"),
+        "energy_requester": delta.energy("mh-0"),
+        "energy_others": sum(
+            delta.energy(mh) for mh in sim.mh_ids[1:]
+        ),
+        "accesses": resource.access_count,
+    }
+
+
+def test_e2_l2_execution_cost(benchmark):
+    configs = [(4, 8), (8, 16), (16, 64)]
+    results = {cfg: run_l2(*cfg) for cfg in configs[:-1]}
+    results[configs[-1]] = benchmark(run_l2, *configs[-1])
+
+    rows = []
+    for m, n in configs:
+        r = results[(m, n)]
+        predicted = formulas.l2_execution_cost(m, COSTS)
+        rows.append((
+            m, n, r["cost"], predicted, r["wireless"], r["searches"],
+            r["energy_requester"],
+        ))
+    print_table(
+        "E2: L2 cost per execution vs M (constant in N)",
+        ["M", "N", "measured", "predicted", "wireless", "searches",
+         "req.energy"],
+        rows,
+    )
+    for m, n in configs:
+        r = results[(m, n)]
+        assert r["accesses"] == 1
+        assert r["cost"] == formulas.l2_execution_cost(m, COSTS)
+        assert r["wireless"] == formulas.l2_wireless_message_count()
+        assert r["searches"] == formulas.l2_search_count()
+        assert r["fixed"] == formulas.l2_fixed_message_count(m)
+        # mh-0's delta includes only the 3 L2 messages; the mobility
+        # leave/join wireless are scoped separately but still cost the
+        # battery, so compare the L2-scope prediction against scoped
+        # counts and the requester total against 3 (+2 for the move).
+        assert r["energy_requester"] == \
+            formulas.l2_energy_per_request() + 2
+        assert r["energy_others"] == 0
+    # Constant in N: same M with very different N gives the same cost.
+    extra = run_l2(4, 64)
+    assert extra["cost"] == results[(4, 8)]["cost"]

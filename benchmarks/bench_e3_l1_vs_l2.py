@@ -1,0 +1,96 @@
+"""E3 -- Section 3.1.1 "Comparison of algorithms L1 and L2".
+
+Paper claims reproduced:
+* L1's search overhead is proportional to N while L2's is constant;
+* since C_search > C_fixed and N >= M, L2's total cost is lower, at
+  every N in the sweep;
+* L2 uses a constant number (3) of wireless messages while L1 uses
+  ``6*(N-1)`` wireless transmissions/receptions;
+* L2 keeps the request queues off the MHs (bystander energy is zero).
+"""
+
+from __future__ import annotations
+
+from repro import Category, CriticalResource, L1Mutex, L2Mutex
+from repro.analysis import comparisons
+
+from conftest import COSTS, make_sim, print_table
+
+
+def run_pair(n: int, m: int):
+    # One cell per MH for the L1 run: the formula's accounting charges
+    # a search on every message, which holds when no two participants
+    # share a cell.
+    sim = make_sim(n_mss=n, n_mh=n)
+    resource = CriticalResource(sim.scheduler)
+    l1 = L1Mutex(sim.network, sim.mh_ids, resource)
+    before = sim.metrics.snapshot()
+    l1.request("mh-0")
+    sim.drain()
+    d1 = sim.metrics.since(before)
+
+    sim2 = make_sim(n_mss=max(m, 2), n_mh=n)
+    resource2 = CriticalResource(sim2.scheduler)
+    l2 = L2Mutex(sim2.network, resource2)
+    before2 = sim2.metrics.snapshot()
+    l2.request("mh-0")
+    sim2.mh(0).move_to(sim2.mss_id(1))
+    sim2.drain()
+    d2 = sim2.metrics.since(before2)
+    return {
+        "l1_cost": d1.cost(COSTS, "L1"),
+        "l2_cost": d2.cost(COSTS, "L2"),
+        "l1_searches": d1.total(Category.SEARCH, "L1"),
+        "l2_searches": d2.total(Category.SEARCH, "L2"),
+        "l1_wireless": d1.total(Category.WIRELESS, "L1"),
+        "l2_wireless": d2.total(Category.WIRELESS, "L2"),
+        "l1_bystander_energy": sum(
+            d1.energy(f"mh-{i}") for i in range(1, n)
+        ),
+        "l2_bystander_energy": sum(
+            d2.energy(f"mh-{i}") for i in range(1, n)
+        ),
+    }
+
+
+def test_e3_l1_vs_l2_sweep(benchmark):
+    m = 8
+    sizes = (8, 16, 32)
+    results = {n: run_pair(n, m) for n in sizes[:-1]}
+    results[sizes[-1]] = benchmark(run_pair, sizes[-1], m)
+
+    rows = []
+    for n in sizes:
+        r = results[n]
+        predicted = comparisons.l1_vs_l2(n, m, COSTS)
+        rows.append((
+            n, r["l1_cost"], r["l2_cost"],
+            r["l1_cost"] / r["l2_cost"], predicted.factor,
+            r["l1_searches"], r["l2_searches"],
+        ))
+    print_table(
+        f"E3: L1 vs L2, M={m} (cost per execution)",
+        ["N", "L1", "L2", "factor", "pred.factor",
+         "L1 srch", "L2 srch"],
+        rows,
+    )
+    for n in sizes:
+        r = results[n]
+        # Who wins: L2, at every N.
+        assert r["l2_cost"] < r["l1_cost"]
+        # By roughly the predicted factor (exactly, here).
+        predicted = comparisons.l1_vs_l2(n, m, COSTS)
+        assert r["l1_cost"] / r["l2_cost"] == predicted.factor
+        # Search: O(N) vs O(1).
+        assert r["l1_searches"] == 3 * (n - 1)
+        assert r["l2_searches"] == 1
+        # Wireless: O(N) vs constant 3.
+        assert r["l1_wireless"] == 6 * (n - 1)
+        assert r["l2_wireless"] == 3
+        # Battery at bystanders: L1 drains everyone, L2 nobody.
+        assert r["l1_bystander_energy"] > 0
+        assert r["l2_bystander_energy"] == 0
+    # The gap widens with N.
+    factors = [results[n]["l1_cost"] / results[n]["l2_cost"]
+               for n in sizes]
+    assert factors == sorted(factors)

@@ -1,0 +1,76 @@
+"""E4 -- Section 3.1.2: the cost structure of Algorithm R1.
+
+Paper claims reproduced:
+* one traversal of the MH ring costs ``N*(2*C_wireless + C_search)``;
+* that cost is independent of K, the number of requests satisfied;
+* every MH pays two energy units per traversal (receive + forward),
+  and dozing members are interrupted regardless of interest.
+"""
+
+from __future__ import annotations
+
+from repro import Category, CriticalResource, R1Mutex
+from repro.analysis import formulas
+
+from conftest import COSTS, make_sim, print_table
+
+
+def run_r1(n: int, k: int, dozers: int = 0):
+    sim = make_sim(n_mss=n, n_mh=n)
+    resource = CriticalResource(sim.scheduler)
+    mutex = R1Mutex(sim.network, sim.mh_ids, resource, max_traversals=1)
+    for i in range(k):
+        mutex.want(f"mh-{i}")
+    for i in range(dozers):
+        sim.mh(n - 1 - i).doze()
+    before = sim.metrics.snapshot()
+    mutex.start()
+    sim.drain()
+    delta = sim.metrics.since(before)
+    return {
+        "cost": delta.cost(COSTS, "R1"),
+        "searches": delta.total(Category.SEARCH, "R1"),
+        "energy": delta.energy(),
+        "served": resource.access_count,
+        "interruptions": sum(
+            sim.mh(i).doze_interruptions for i in range(n)
+        ),
+    }
+
+
+def test_e4_r1_traversal_cost(benchmark):
+    n = 8
+    ks = (0, 2, 6)
+    results = {k: run_r1(n, k) for k in ks[:-1]}
+    results[ks[-1]] = benchmark(run_r1, n, ks[-1])
+
+    predicted = formulas.r1_traversal_cost(n, COSTS)
+    rows = [
+        (k, results[k]["served"], results[k]["cost"], predicted,
+         results[k]["energy"])
+        for k in ks
+    ]
+    print_table(
+        f"E4: R1 traversal cost, N={n} (independent of K)",
+        ["K", "served", "measured", "predicted", "energy"],
+        rows,
+    )
+    for k in ks:
+        r = results[k]
+        assert r["served"] == k
+        assert r["cost"] == predicted
+        assert r["searches"] == formulas.r1_search_count(n)
+        assert r["energy"] == formulas.r1_energy_per_traversal(n)
+    # Cost does not vary with K at all.
+    assert len({results[k]["cost"] for k in ks}) == 1
+
+
+def test_e4_r1_interrupts_dozing_bystanders(benchmark):
+    result = benchmark(run_r1, 8, 1, 3)
+    print_table(
+        "E4b: doze interruptions in one R1 traversal (3 dozing, K=1)",
+        ["served", "interruptions"],
+        [(result["served"], result["interruptions"])],
+    )
+    assert result["served"] == 1
+    assert result["interruptions"] == 3

@@ -1,0 +1,86 @@
+"""E5 -- Section 3.1.2: the cost structure of Algorithm R2.
+
+Paper claims reproduced:
+* satisfying K requests in one traversal costs
+  ``K*(3*C_wireless + C_fixed + C_search) + M*C_fixed``
+  (nomadic requesters: each moved after requesting, so grants search
+  and token returns cross the fixed network);
+* the bound on K is ``N*M`` for plain R2 and ``N`` for R2';
+* only requesters spend energy (3 units each).
+"""
+
+from __future__ import annotations
+
+from repro import Category, CriticalResource, R2Mutex
+from repro.analysis import formulas
+
+from conftest import COSTS, make_sim, print_table
+
+
+def run_r2(m: int, k: int):
+    sim = make_sim(n_mss=m, n_mh=max(k, 1))
+    resource = CriticalResource(sim.scheduler)
+    mutex = R2Mutex(sim.network, resource, max_traversals=1)
+    before = sim.metrics.snapshot()
+    for i in range(k):
+        mutex.request(f"mh-{i}")
+    sim.drain()
+    for i in range(k):
+        sim.mh(i).move_to(f"mss-{(i + 2) % m}")
+    sim.drain()
+    mutex.start()
+    sim.drain()
+    delta = sim.metrics.since(before)
+    return {
+        "cost": delta.cost(COSTS, "R2"),
+        "searches": delta.total(Category.SEARCH, "R2"),
+        "served": resource.access_count,
+        "requester_energy": [
+            delta.energy(f"mh-{i}") for i in range(k)
+        ],
+    }
+
+
+def test_e5_r2_traversal_cost(benchmark):
+    m = 8
+    ks = (0, 2, 5, 8)
+    results = {k: run_r2(m, k) for k in ks[:-1]}
+    results[ks[-1]] = benchmark(run_r2, m, ks[-1])
+
+    rows = []
+    for k in ks:
+        r = results[k]
+        predicted = formulas.r2_traversal_cost(k, m, COSTS)
+        rows.append((k, r["served"], r["cost"], predicted,
+                     r["searches"]))
+    print_table(
+        f"E5: R2 traversal cost vs K, M={m}",
+        ["K", "served", "measured", "predicted", "searches"],
+        rows,
+    )
+    for k in ks:
+        r = results[k]
+        assert r["served"] == k
+        assert r["cost"] == formulas.r2_traversal_cost(k, m, COSTS)
+        # One search per satisfied request -- the O(K) overhead.
+        assert r["searches"] == k
+        # Requesters pay exactly 3 algorithm energy units (+2 for their
+        # scripted move under the mobility scope).
+        for energy in r["requester_energy"]:
+            assert energy == formulas.r2_energy_per_request() + 2
+
+
+def test_e5_request_bounds(benchmark):
+    n, m = 6, 4
+    result = benchmark(
+        lambda: (
+            formulas.r2_max_requests_per_traversal(n, m),
+            formulas.r2_prime_max_requests_per_traversal(n),
+        )
+    )
+    print_table(
+        "E5b: per-traversal request bounds",
+        ["variant", "bound"],
+        [("R2 (plain)", result[0]), ("R2' (counter)", result[1])],
+    )
+    assert result == (24, 6)

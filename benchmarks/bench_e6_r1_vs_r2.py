@@ -1,0 +1,106 @@
+"""E6 -- Section 3.1.2 "Comparison of algorithms R1 and R2".
+
+Paper claims reproduced:
+* R1's search overhead is proportional to N and independent of K;
+  R2's is proportional to K;
+* for sparse requests R2 is cheaper, and the crossover K matches the
+  analytic threshold
+  ``K* = (N*(2*C_w + C_s) - M*C_f) / (3*C_w + C_f + C_s)``;
+* battery: R1 drains every MH twice per traversal; R2 drains only the
+  requesters (3 units each);
+* doze: R1 interrupts dozing bystanders; R2 never does.
+"""
+
+from __future__ import annotations
+
+from repro import Category, CriticalResource, R1Mutex, R2Mutex
+from repro.analysis import comparisons, formulas
+
+from conftest import COSTS, make_sim, print_table
+
+
+def run_r1(n: int, k: int):
+    sim = make_sim(n_mss=n, n_mh=n)
+    resource = CriticalResource(sim.scheduler)
+    mutex = R1Mutex(sim.network, sim.mh_ids, resource, max_traversals=1)
+    for i in range(k):
+        mutex.want(f"mh-{i}")
+    sim.mh(n - 1).doze()
+    before = sim.metrics.snapshot()
+    mutex.start()
+    sim.drain()
+    delta = sim.metrics.since(before)
+    return {
+        "cost": delta.cost(COSTS, "R1"),
+        "searches": delta.total(Category.SEARCH, "R1"),
+        "bystander_energy": delta.energy(f"mh-{n - 1}"),
+        "interruptions": sim.mh(n - 1).doze_interruptions,
+        "served": resource.access_count,
+    }
+
+
+def run_r2(n: int, m: int, k: int):
+    sim = make_sim(n_mss=m, n_mh=n)
+    resource = CriticalResource(sim.scheduler)
+    mutex = R2Mutex(sim.network, resource, max_traversals=1)
+    # Snapshot before the requests: the per-request cost in the
+    # formula includes the request uplink (scoped traffic only, so the
+    # scripted moves below do not pollute the measurement).
+    before = sim.metrics.snapshot()
+    for i in range(k):
+        mutex.request(f"mh-{i}")
+    sim.drain()
+    for i in range(k):
+        sim.mh(i).move_to(f"mss-{(i + 2) % m}")
+    sim.drain()
+    sim.mh(n - 1).doze()
+    mutex.start()
+    sim.drain()
+    delta = sim.metrics.since(before)
+    return {
+        "cost": delta.cost(COSTS, "R2"),
+        "searches": delta.total(Category.SEARCH, "R2"),
+        "bystander_energy": delta.energy(f"mh-{n - 1}"),
+        "interruptions": sim.mh(n - 1).doze_interruptions,
+        "served": resource.access_count,
+    }
+
+
+def test_e6_r1_vs_r2_crossover(benchmark):
+    n, m = 10, 10
+    k_star = comparisons.r1_r2_crossover_k(n, m, COSTS)
+    ks = (0, 2, 5, 9)
+    r1_results = {k: run_r1(n, k) for k in ks}
+    r2_results = {k: run_r2(n, m, k) for k in ks[:-1]}
+    r2_results[ks[-1]] = benchmark(run_r2, n, m, ks[-1])
+
+    rows = []
+    for k in ks:
+        rows.append((
+            k,
+            r1_results[k]["cost"],
+            r2_results[k]["cost"],
+            "R2" if r2_results[k]["cost"] < r1_results[k]["cost"]
+            else "R1",
+            "R2" if k < k_star else "R1",
+        ))
+    print_table(
+        f"E6: R1 vs R2, N=M={n}, analytic crossover K*={k_star:.1f}",
+        ["K", "R1 cost", "R2 cost", "winner", "predicted"],
+        rows,
+    )
+    for k in ks:
+        measured_winner = (
+            "R2" if r2_results[k]["cost"] < r1_results[k]["cost"]
+            else "R1"
+        )
+        predicted_winner = "R2" if k < k_star else "R1"
+        assert measured_winner == predicted_winner
+        # Search overhead: N for R1 (any K), K for R2.
+        assert r1_results[k]["searches"] == n
+        assert r2_results[k]["searches"] == k
+        # Doze and battery at the bystander mh-9 (never requests).
+        assert r1_results[k]["bystander_energy"] == 2
+        assert r1_results[k]["interruptions"] >= 1
+        assert r2_results[k]["bystander_energy"] == 0
+        assert r2_results[k]["interruptions"] == 0

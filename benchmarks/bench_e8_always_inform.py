@@ -1,0 +1,96 @@
+"""E8 -- Section 4.2: the always-inform strategy.
+
+Paper claims reproduced:
+* a group message (and equally a location update) costs
+  ``(|G|-1)*(2*C_wireless + C_fixed)``;
+* the total over a run is ``(MOB + MSG)*(|G|-1)*(2*C_w + C_f)``, so the
+  effective per-message cost is ``(MOB/MSG + 1)`` times the base cost:
+  the mobility-to-message ratio governs the scheme;
+* after updates settle, deliveries never search.
+"""
+
+from __future__ import annotations
+
+from repro import Category
+from repro.analysis import formulas
+from repro.groups import AlwaysInformGroup
+
+from conftest import COSTS, make_sim, print_table
+
+
+def run_always_inform(g: int, moves: int, messages: int):
+    # Two private cells per member (cells 2i and 2i+1): members toggle
+    # between their own pair, so no two members ever share a cell and
+    # every copy crosses the fixed network -- the formula's accounting.
+    sim = make_sim(
+        n_mss=2 * g, n_mh=g, placement=[2 * i for i in range(g)]
+    )
+    group = AlwaysInformGroup(sim.network, sim.mh_ids)
+    toggles = [0] * g
+    before = sim.metrics.snapshot()
+    done_moves = 0
+    for round_index in range(messages):
+        per_round = moves // messages + (
+            1 if round_index < moves % messages else 0
+        )
+        for _ in range(per_round):
+            mover = done_moves % g
+            toggles[mover] ^= 1
+            sim.mh(mover).move_to(f"mss-{2 * mover + toggles[mover]}")
+            sim.drain()
+            done_moves += 1
+        group.send("mh-0", ("msg", round_index))
+        sim.drain()
+    delta = sim.metrics.since(before)
+    return {
+        "cost": delta.cost(COSTS, group.scope),
+        "searches": delta.total(Category.SEARCH, group.scope),
+        "mob": group.stats.moves,
+        "msg": group.stats.messages,
+        "deliveries": group.stats.deliveries,
+        "stale": group.stale_deliveries,
+    }
+
+
+def test_e8_always_inform_effective_cost(benchmark):
+    g = 5
+    messages = 4
+    ratios = (0, 1, 3)
+    results = {}
+    for ratio in ratios[:-1]:
+        results[ratio] = run_always_inform(g, ratio * messages, messages)
+    results[ratios[-1]] = benchmark(
+        run_always_inform, g, ratios[-1] * messages, messages
+    )
+
+    rows = []
+    for ratio in ratios:
+        r = results[ratio]
+        measured_eff = r["cost"] / r["msg"]
+        predicted_eff = formulas.always_inform_effective_cost(
+            g, r["mob"] / r["msg"], COSTS
+        )
+        rows.append((
+            r["mob"], r["msg"], measured_eff, predicted_eff,
+            r["searches"],
+        ))
+    print_table(
+        f"E8: always-inform effective cost per message, |G|={g}",
+        ["MOB", "MSG", "measured/msg", "predicted/msg", "searches"],
+        rows,
+    )
+    for ratio in ratios:
+        r = results[ratio]
+        assert r["mob"] == ratio * messages
+        assert r["cost"] == formulas.always_inform_total_cost(
+            g, r["mob"], r["msg"], COSTS
+        )
+        assert r["searches"] == 0
+        assert r["stale"] == 0
+        assert r["deliveries"] == r["msg"] * (g - 1)
+    # The effective cost grows linearly in MOB/MSG.
+    eff = [results[r]["cost"] / results[r]["msg"] for r in ratios]
+    base = formulas.always_inform_message_cost(g, COSTS)
+    assert eff[0] == base
+    assert eff[1] == 2 * base
+    assert eff[2] == 4 * base

@@ -1,0 +1,108 @@
+"""Simulator scaling: events-per-second and cost linearity at size.
+
+Not a paper experiment -- a harness-quality check.  It verifies the
+substrate stays usable at N >> M population sizes (the paper's stated
+regime) and that per-execution algorithm costs are independent of how
+much *other* traffic the system carries (scopes are isolated).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Category, CriticalResource, L2Mutex
+from repro.analysis import formulas
+from repro.mobility import UniformMobility
+from repro.workload import MutexWorkload
+
+from conftest import COSTS, make_sim, print_table
+
+
+def run_loaded_system(n_mss: int, n_mh: int, duration: float = 150.0):
+    sim = make_sim(n_mss=n_mss, n_mh=n_mh, seed=3)
+    resource = CriticalResource(sim.scheduler)
+    mutex = L2Mutex(sim.network, resource, cs_duration=0.3)
+    workload = MutexWorkload(sim.network, mutex, sim.mh_ids,
+                             request_rate=0.02, rng=random.Random(4))
+    mobility = UniformMobility(sim.network, sim.mh_ids, 0.01,
+                               rng=random.Random(5))
+    sim.run(until=duration)
+    workload.stop()
+    mobility.stop()
+    sim.drain()
+    resource.assert_no_overlap()
+    assert workload.completed == workload.issued
+    return {
+        "events": sim.scheduler.events_processed,
+        "accesses": resource.access_count,
+        "moves": sum(sim.mh(i).moves_completed for i in range(n_mh)),
+    }
+
+
+def test_scale_population_sweep(benchmark):
+    sizes = [(8, 40), (12, 120)]
+    results = {size: run_loaded_system(*size) for size in sizes}
+    big = (16, 320)
+    results[big] = benchmark(run_loaded_system, *big)
+    sizes.append(big)
+
+    rows = [
+        (m, n, results[(m, n)]["events"], results[(m, n)]["accesses"],
+         results[(m, n)]["moves"])
+        for (m, n) in sizes
+    ]
+    print_table(
+        "SCALE: loaded system (L2 + mobility), 150 time units",
+        ["M", "N", "events", "CS accesses", "moves"],
+        rows,
+    )
+    for size in sizes:
+        assert results[size]["accesses"] > 0
+        assert results[size]["moves"] > 0
+    # Event volume grows roughly with population, not explosively
+    # (ratio between the largest and smallest configs stays within the
+    # population ratio times a small constant).
+    small_events = results[(8, 40)]["events"]
+    big_events = results[big]["events"]
+    assert big_events / small_events < (320 / 40) * 3
+
+
+def test_scale_scopes_are_isolated(benchmark):
+    """An L2 execution costs the same whether the system is idle or
+    saturated with unrelated traffic -- scoped accounting never
+    bleeds."""
+    def measure(background: bool):
+        sim = make_sim(n_mss=6, n_mh=30, seed=9)
+        resource = CriticalResource(sim.scheduler)
+        mutex = L2Mutex(sim.network, resource, scope="probe")
+        noise = None
+        if background:
+            noise_resource = CriticalResource(sim.scheduler)
+            noise_mutex = L2Mutex(sim.network, noise_resource,
+                                  cs_duration=0.2, scope="noise")
+            noise = MutexWorkload(sim.network, noise_mutex,
+                                  sim.mh_ids[1:], 0.1,
+                                  rng=random.Random(10))
+            sim.run(until=50.0)
+        before = sim.metrics.snapshot()
+        mutex.request("mh-0")
+        sim.mh(0).move_to(sim.mss_id(3))
+        sim.run(until=sim.now + 100.0)
+        if noise is not None:
+            noise.stop()
+        sim.drain()
+        delta = sim.metrics.since(before)
+        return delta.cost(COSTS, "probe")
+
+    quiet = measure(background=False)
+    loud = benchmark(measure, True)
+    print_table(
+        "SCALE-b: probe execution cost, idle vs saturated system",
+        ["system", "probe cost", "predicted"],
+        [
+            ("idle", quiet, formulas.l2_execution_cost(6, COSTS)),
+            ("saturated", loud, formulas.l2_execution_cost(6, COSTS)),
+        ],
+    )
+    assert quiet == formulas.l2_execution_cost(6, COSTS)
+    assert loud == quiet

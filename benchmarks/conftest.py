@@ -1,0 +1,76 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every file in this directory reproduces one experiment row from
+DESIGN.md: it runs the simulator, prints the measured-vs-predicted
+table the paper's evaluation implies (visible with ``pytest -s``), and
+asserts the paper's qualitative claim (who wins, and by what shape).
+Timing is provided by pytest-benchmark; correctness does not depend on
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro import CostModel, NetworkConfig, Simulation
+from repro.net import ConstantLatency
+
+COSTS = CostModel(c_fixed=1.0, c_wireless=5.0, c_search=10.0)
+
+
+def make_sim(
+    n_mss: int,
+    n_mh: int,
+    seed: int = 1,
+    placement="round_robin",
+    search: str = "abstract",
+    fixed_latency: float = 1.0,
+    wireless_latency: float = 0.5,
+    **config_kwargs,
+) -> Simulation:
+    """A deterministic simulation with the benchmark cost model."""
+    config = NetworkConfig(
+        fixed_latency=ConstantLatency(fixed_latency),
+        wireless_latency=ConstantLatency(wireless_latency),
+        **config_kwargs,
+    )
+    return Simulation(
+        n_mss=n_mss,
+        n_mh=n_mh,
+        seed=seed,
+        cost_model=COSTS,
+        config=config,
+        search=search,
+        placement=placement,
+    )
+
+
+def print_table(
+    title: str, headers: Iterable[str], rows: Iterable[Iterable]
+) -> None:
+    """Print one experiment's measured-vs-predicted table."""
+    headers = list(headers)
+    rows = [list(row) for row in rows]
+
+    def render(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.1f}"
+        return str(value)
+
+    rendered = [[render(value) for value in row] for row in rows]
+    widths = []
+    for index, header in enumerate(headers):
+        cells = [row[index] for row in rendered if index < len(row)]
+        widths.append(max([len(header)] + [len(c) for c in cells]) + 2)
+    print()
+    print(f"== {title} ==")
+    print("".join(h.rjust(w) for h, w in zip(headers, widths)))
+    for row in rendered:
+        print("".join(c.rjust(w) for c, w in zip(row, widths)))
+
+
+def relative_error(measured: float, predicted: float) -> float:
+    """|measured - predicted| / predicted (0 when both are zero)."""
+    if predicted == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return abs(measured - predicted) / predicted

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Exactly-once multicast: a field team's order feed.
+
+A dispatch centre multicasts numbered orders to a team of couriers who
+ride between cells, doze, and sometimes disconnect entirely.  The
+exactly-once multicast (the paper's companion system, reference [1])
+buffers orders at every base station and uses the Section-2 handoff to
+carry each courier's delivery counter between cells, so that:
+
+* every courier receives every order exactly once, in order;
+* a courier that was disconnected for an hour catches up the moment it
+  reconnects -- from its new cell's buffer, with no search;
+* buffers shrink again once everyone has caught up.
+
+Run:  python examples/field_team_newsfeed.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Simulation
+from repro.mobility import UniformMobility
+from repro.multicast import ExactlyOnceMulticast
+from repro.sim import PoissonProcess
+
+N_MSS = 8
+COURIERS = 6
+DURATION = 800.0
+
+
+def main() -> None:
+    sim = Simulation(n_mss=N_MSS, n_mh=COURIERS, seed=21)
+    team = sim.mh_ids
+    feed = ExactlyOnceMulticast(sim.network, team)
+    rng = random.Random(7)
+    orders = [0]
+
+    def dispatch() -> None:
+        sender = team[0]  # mh-0 is the dispatcher's handset
+        if sim.network.mobile_host(sender).is_connected:
+            orders[0] += 1
+            feed.send(sender, f"order-{orders[0]}")
+
+    traffic = PoissonProcess(sim.scheduler, 0.05, dispatch,
+                             rng=random.Random(8))
+    mobility = UniformMobility(sim.network, team[1:], 0.02,
+                               rng=random.Random(9))
+
+    # One courier goes dark for a long stretch mid-run.
+    sim.scheduler.schedule(200.0, sim.mh(3).disconnect)
+    sim.scheduler.schedule(600.0, sim.mh(3).reconnect, "mss-6")
+
+    def buffer_peak() -> int:
+        return max(feed.buffer_size(mss_id) for mss_id in sim.mss_ids)
+
+    peak = [0]
+    probe = PoissonProcess(
+        sim.scheduler, 0.2,
+        lambda: peak.__setitem__(0, max(peak[0], buffer_peak())),
+        rng=random.Random(10),
+    )
+
+    sim.run(until=DURATION)
+    traffic.stop()
+    mobility.stop()
+    probe.stop()
+    sim.drain()
+
+    total = feed.messages_sent
+    print(f"orders dispatched     : {total}")
+    moves = sum(sim.mh(i).moves_completed for i in range(COURIERS))
+    print(f"courier moves         : {moves}")
+    print(f"mh-3 offline          : t=200 .. t=600 (reconnected at mss-6)")
+    print()
+    all_exact = True
+    for courier in team:
+        seqs = feed.delivered_seqs(courier)
+        exact = seqs == list(range(1, total + 1))
+        all_exact &= exact
+        print(f"  {courier}: {len(seqs)} orders, exactly-once in order: "
+              f"{exact}")
+    print()
+    print(f"peak buffered orders  : {peak[0]} "
+          f"(while mh-3 was offline)")
+    print(f"final buffered orders : {buffer_peak()} "
+          f"(pruned after catch-up)")
+    print(f"searches used         : "
+          f"{sim.metrics.report()['totals']['search']} "
+          f"(location logic fully absorbed by buffering + handoff)")
+    assert all_exact
+
+
+if __name__ == "__main__":
+    main()

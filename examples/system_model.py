@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Figure 1 walkthrough: the system model and its cost currency.
+
+Renders the two-tier architecture (static MSS backbone + wireless
+cells), then demonstrates each primitive of Section 2 with live cost
+accounting:
+
+* a fixed-network message (C_fixed),
+* a wireless hop (C_wireless),
+* a MSS -> remote MH delivery (C_search + C_wireless),
+* a MH -> MH message (2*C_wireless + C_search),
+* a move (leave(r) / join / handoff),
+* a disconnect / reconnect cycle.
+
+Run:  python examples/system_model.py
+"""
+
+from __future__ import annotations
+
+from repro import Simulation
+from repro.net.messages import Message
+
+M, N = 4, 6
+
+
+def banner(sim: Simulation) -> None:
+    print("  static (fixed) network")
+    print("  " + " === ".join(sim.mss_ids))
+    for i in range(M):
+        local = sorted(sim.mss(i).local_mhs)
+        cell = ", ".join(local) if local else "(empty)"
+        print(f"    cell {sim.mss_id(i)}: {cell}")
+    print()
+
+
+def show_cost(sim: Simulation, label: str, before) -> None:
+    delta = sim.metrics.since(before)
+    pieces = []
+    for category in ("fixed", "wireless", "search"):
+        count = {
+            "fixed": delta.total(sim_category("fixed")),
+            "wireless": delta.total(sim_category("wireless")),
+            "search": delta.total(sim_category("search")),
+        }[category]
+        if count:
+            pieces.append(f"{count} {category}")
+    cost = delta.cost(sim.cost_model)
+    print(f"  {label:<44} cost {cost:>6.1f}  ({', '.join(pieces) or 'free'})")
+
+
+def sim_category(name):
+    from repro import Category
+    return Category(name)
+
+
+def main() -> None:
+    sim = Simulation(n_mss=M, n_mh=N, seed=1, placement="round_robin")
+    costs = sim.cost_model
+    print("The system model of Section 2 "
+          f"(M={M} MSSs, N={N} MHs)")
+    print(f"C_fixed={costs.c_fixed}, C_wireless={costs.c_wireless}, "
+          f"C_search={costs.c_search} "
+          f"(C_search >= C_fixed, as required)")
+    print()
+    banner(sim)
+
+    # Register sink handlers.
+    for i in range(M):
+        sim.mss(i).register_handler("demo.ping", lambda m: None)
+    for i in range(N):
+        sim.mh(i).register_handler("demo.ping", lambda m: None)
+
+    print("primitives:")
+    before = sim.metrics.snapshot()
+    sim.network.send_fixed(Message(
+        kind="demo.ping", src="mss-0", dst="mss-3", scope="demo"))
+    sim.drain()
+    show_cost(sim, "MSS -> MSS (fixed network)", before)
+
+    before = sim.metrics.snapshot()
+    sim.mss(0).send_to_local_mh("mh-0", "demo.ping", None, "demo")
+    sim.drain()
+    show_cost(sim, "MSS -> local MH (one wireless hop)", before)
+
+    before = sim.metrics.snapshot()
+    sim.mss(0).send_to_mh("mh-1", "demo.ping", None, "demo")
+    sim.drain()
+    show_cost(sim, "MSS -> remote MH (search + wireless)", before)
+
+    before = sim.metrics.snapshot()
+    sim.mh(0).send_to_mss("demo.ping", None, "demo")
+    sim.drain()
+    show_cost(sim, "MH -> local MSS (one wireless hop)", before)
+
+    before = sim.metrics.snapshot()
+    sim.mh(2).move_to("mss-0")
+    sim.drain()
+    show_cost(sim, "move: leave(r), join, handoff", before)
+
+    before = sim.metrics.snapshot()
+    sim.mh(3).disconnect()
+    sim.drain()
+    show_cost(sim, "disconnect(r): flag set at mss-3", before)
+
+    before = sim.metrics.snapshot()
+    sim.mss(0).send_to_mh(
+        "mh-3", "demo.ping", None, "demo",
+        on_disconnected=lambda outcome: None,
+    )
+    sim.drain()
+    show_cost(sim, "delivery attempt to disconnected MH", before)
+
+    before = sim.metrics.snapshot()
+    sim.mh(3).reconnect("mss-1")
+    sim.drain()
+    show_cost(sim, "reconnect(mh, prev): handoff clears flag", before)
+
+    print()
+    print("after the moves:")
+    banner(sim)
+    print("derived quantities:")
+    print(f"  MH -> MH message: 2*C_wireless + C_search = "
+          f"{costs.mh_to_mh():.1f}")
+    print(f"  MSS -> non-local MH: C_search + C_wireless = "
+          f"{costs.mss_to_remote_mh():.1f}")
+    print(f"  worst-case search (probe M-1 MSSs): "
+          f"{costs.worst_case_search(M):.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""repro -- a reproduction of "Structuring Distributed Algorithms for
+Mobile Hosts" (Badrinath, Acharya, Imielinski; ICDCS 1994).
+
+The library provides:
+
+* a discrete-event simulation of the paper's system model (mobile hosts,
+  support stations, FIFO wireless cells, a reliable fixed network, and
+  the three-parameter cost currency C_fixed / C_wireless / C_search);
+* the four mutual exclusion algorithm families of Section 3
+  (:class:`L1Mutex`, :class:`L2Mutex`, :class:`R1Mutex`,
+  :class:`R2Mutex` with the R2' and R2'' variants);
+* the three group location management strategies of Section 4
+  (:class:`PureSearchGroup`, :class:`AlwaysInformGroup`,
+  :class:`LocationViewGroup`);
+* the proxy framework of Section 5 (:mod:`repro.proxy`);
+* the paper's analytic cost formulas (:mod:`repro.analysis`) used as
+  oracles by the benchmark suite.
+
+Quickstart::
+
+    from repro import CostModel, CriticalResource, L2Mutex, Simulation
+
+    sim = Simulation(n_mss=4, n_mh=12, seed=7)
+    resource = CriticalResource(sim.scheduler)
+    mutex = L2Mutex(sim.network, resource)
+    mutex.request(sim.mh_id(0))
+    sim.drain()
+    assert resource.access_count == 1
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    FairnessViolation,
+    MutualExclusionViolation,
+    NotConnectedError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    UnknownHostError,
+)
+from repro.facade import Simulation
+from repro.hosts import HostState, MobileHost, MobileSupportStation
+from repro.metrics import Category, CostModel, MetricsCollector
+from repro.multicast import ExactlyOnceMulticast
+from repro.mutex import (
+    CriticalResource,
+    L1Mutex,
+    L2Mutex,
+    R1Mutex,
+    R2Mutex,
+    R2Variant,
+)
+from repro.net import (
+    AbstractSearch,
+    BroadcastSearch,
+    ConstantLatency,
+    Network,
+    NetworkConfig,
+    UniformLatency,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractSearch",
+    "BroadcastSearch",
+    "Category",
+    "ConfigurationError",
+    "ConstantLatency",
+    "CostModel",
+    "CriticalResource",
+    "ExactlyOnceMulticast",
+    "FairnessViolation",
+    "HostState",
+    "L1Mutex",
+    "L2Mutex",
+    "MetricsCollector",
+    "MobileHost",
+    "MobileSupportStation",
+    "MutualExclusionViolation",
+    "Network",
+    "NetworkConfig",
+    "NotConnectedError",
+    "ProtocolError",
+    "R1Mutex",
+    "R2Mutex",
+    "R2Variant",
+    "ReproError",
+    "Simulation",
+    "SimulationError",
+    "UniformLatency",
+    "UnknownHostError",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Analytic cost formulas and comparisons from the paper (S20).
+
+:mod:`repro.analysis.formulas` transcribes every closed-form cost
+expression in Sections 3-4; :mod:`repro.analysis.comparisons` derives
+the crossover conditions behind the paper's qualitative claims ("L2
+beats L1", "always-inform beats pure search when mobility is low", ...).
+Benchmarks treat these as the predicted values that measured simulator
+counts must reproduce.
+"""
+
+from repro.analysis import formulas
+from repro.analysis import comparisons
+from repro.analysis import sweeps
+
+__all__ = ["formulas", "comparisons", "sweeps"]

@@ -1,0 +1,254 @@
+"""Closed-form cost expressions from the paper, one function each.
+
+Naming: ``c`` is always a :class:`~repro.metrics.CostModel`; ``n_mh`` is
+N (number of mobile hosts / participants), ``n_mss`` is M (number of
+support stations), ``k`` is K (requests satisfied in one ring
+traversal), ``g`` is |G| (group size), ``mob`` / ``msg`` are the paper's
+MOB (member moves) and MSG (group messages) counts, ``f`` is the
+significant fraction of moves, and ``lv_max`` is |LV(G)^max|.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.metrics import CostModel
+
+
+def _require(condition: bool, what: str) -> None:
+    if not condition:
+        raise ConfigurationError(what)
+
+
+# ----------------------------------------------------------------------
+# Section 3.1.1 -- Lamport's algorithm (L1 / L2)
+# ----------------------------------------------------------------------
+
+def l1_execution_cost(n_mh: int, c: CostModel) -> float:
+    """Total cost of one L1 execution:
+    ``3 * (N-1) * (2*C_wireless + C_search)``."""
+    _require(n_mh >= 2, "L1 needs N >= 2")
+    return 3 * (n_mh - 1) * (2 * c.c_wireless + c.c_search)
+
+
+def l1_message_count(n_mh: int) -> int:
+    """Messages per L1 execution: ``3 * (N-1)``
+    (request, reply and release to/from every other participant)."""
+    _require(n_mh >= 2, "L1 needs N >= 2")
+    return 3 * (n_mh - 1)
+
+
+def l1_energy_total(n_mh: int) -> int:
+    """Wireless transmissions + receptions per execution across all MHs:
+    proportional to ``6 * (N-1)`` (every message costs energy at both
+    its MH endpoints)."""
+    _require(n_mh >= 2, "L1 needs N >= 2")
+    return 6 * (n_mh - 1)
+
+
+def l1_energy_initiator(n_mh: int) -> int:
+    """Energy at the initiating MH: proportional to ``3 * (N-1)``
+    (sends N-1 requests and N-1 releases, receives N-1 replies)."""
+    _require(n_mh >= 2, "L1 needs N >= 2")
+    return 3 * (n_mh - 1)
+
+
+def l1_energy_non_initiator() -> int:
+    """Energy at each other MH: 3 (receive request and release, send
+    one reply)."""
+    return 3
+
+
+def l1_search_count(n_mh: int) -> int:
+    """Searches per L1 execution: one per message, ``3 * (N-1)`` --
+    the O(N) search overhead the paper criticizes."""
+    return l1_message_count(n_mh)
+
+
+def l2_execution_cost(n_mss: int, c: CostModel) -> float:
+    """Total cost of one L2 execution:
+    ``3*C_wireless + C_fixed + C_search + 3*(M-1)*C_fixed``
+    (init; Lamport's request/reply/release among the MSSs; grant after a
+    search; release_resource relayed over one fixed hop)."""
+    _require(n_mss >= 2, "L2 needs M >= 2")
+    return (
+        3 * c.c_wireless
+        + c.c_fixed
+        + c.c_search
+        + 3 * (n_mss - 1) * c.c_fixed
+    )
+
+
+def l2_wireless_message_count() -> int:
+    """Wireless messages per L2 execution: exactly 3
+    (init, grant_request, release_resource)."""
+    return 3
+
+
+def l2_fixed_message_count(n_mss: int) -> int:
+    """Fixed messages per L2 execution: ``3*(M-1)`` Lamport messages
+    plus 1 relayed release_resource."""
+    _require(n_mss >= 2, "L2 needs M >= 2")
+    return 3 * (n_mss - 1) + 1
+
+
+def l2_search_count() -> int:
+    """Searches per L2 execution: exactly 1 (locating the grantee) --
+    the constant search cost the paper contrasts with L1's O(N)."""
+    return 1
+
+
+def l2_energy_per_request() -> int:
+    """Energy at the requesting MH: 3 wireless messages; all other MHs
+    spend nothing."""
+    return 3
+
+
+# ----------------------------------------------------------------------
+# Section 3.1.2 -- token ring (R1 / R2 / R2')
+# ----------------------------------------------------------------------
+
+def r1_traversal_cost(n_mh: int, c: CostModel) -> float:
+    """Cost for the token to traverse the MH ring once:
+    ``N * (2*C_wireless + C_search)`` -- independent of K."""
+    _require(n_mh >= 2, "R1 needs N >= 2")
+    return n_mh * (2 * c.c_wireless + c.c_search)
+
+
+def r1_search_count(n_mh: int) -> int:
+    """Searches per R1 traversal: N (one per hop)."""
+    _require(n_mh >= 2, "R1 needs N >= 2")
+    return n_mh
+
+
+def r1_energy_per_traversal(n_mh: int) -> int:
+    """Energy per traversal: every MH receives and forwards the token,
+    ``2 * N`` wireless events."""
+    _require(n_mh >= 2, "R1 needs N >= 2")
+    return 2 * n_mh
+
+
+def r2_request_cost(c: CostModel) -> float:
+    """Cost of satisfying one request in R2:
+    ``3*C_wireless + C_fixed + C_search``
+    (request uplink; token to the MH after a search; token returned via
+    the MH's local MSS and one fixed hop)."""
+    return 3 * c.c_wireless + c.c_fixed + c.c_search
+
+
+def r2_traversal_cost(k: int, n_mss: int, c: CostModel) -> float:
+    """Cost of satisfying K requests in one traversal of the MSS ring:
+    ``K*(3*C_wireless + C_fixed + C_search) + M*C_fixed``."""
+    _require(k >= 0, "K must be nonnegative")
+    _require(n_mss >= 2, "R2 needs M >= 2")
+    return k * r2_request_cost(c) + n_mss * c.c_fixed
+
+
+def r2_max_requests_per_traversal(n_mh: int, n_mss: int) -> int:
+    """Upper bound on K for plain R2: ``N * M`` (a MH can move ahead of
+    the token and be served once per MSS)."""
+    return n_mh * n_mss
+
+
+def r2_prime_max_requests_per_traversal(n_mh: int) -> int:
+    """Upper bound on K for R2': ``N`` (at most one access per MH)."""
+    return n_mh
+
+
+def r2_energy_per_request() -> int:
+    """Energy at a requesting MH: 3 wireless accesses (send the
+    request, receive the token, return it).  Non-requesting MHs spend
+    nothing -- R1's key drawback removed."""
+    return 3
+
+
+# ----------------------------------------------------------------------
+# Section 4 -- group location management
+# ----------------------------------------------------------------------
+
+def pure_search_message_cost(g: int, c: CostModel) -> float:
+    """Pure search: one group message costs
+    ``(|G|-1) * (2*C_wireless + C_search)``; independent of MOB."""
+    _require(g >= 1, "|G| must be >= 1")
+    return (g - 1) * (2 * c.c_wireless + c.c_search)
+
+
+def pure_search_total_cost(g: int, msg: int, c: CostModel) -> float:
+    """Pure search total over MSG group messages."""
+    _require(msg >= 0, "MSG must be nonnegative")
+    return msg * pure_search_message_cost(g, c)
+
+
+def always_inform_message_cost(g: int, c: CostModel) -> float:
+    """Always inform: one group message (or one location update) costs
+    ``(|G|-1) * (2*C_wireless + C_fixed)`` -- the location directory
+    replaces the search with a fixed hop."""
+    _require(g >= 1, "|G| must be >= 1")
+    return (g - 1) * (2 * c.c_wireless + c.c_fixed)
+
+
+def always_inform_total_cost(
+    g: int, mob: int, msg: int, c: CostModel
+) -> float:
+    """Always inform total:
+    ``(MOB + MSG) * (|G|-1) * (2*C_wireless + C_fixed)``."""
+    _require(mob >= 0 and msg >= 0, "MOB and MSG must be nonnegative")
+    return (mob + msg) * always_inform_message_cost(g, c)
+
+
+def always_inform_effective_cost(
+    g: int, mob_to_msg_ratio: float, c: CostModel
+) -> float:
+    """Effective cost per group message:
+    ``(MOB/MSG + 1) * (|G|-1) * (2*C_wireless + C_fixed)``."""
+    _require(mob_to_msg_ratio >= 0, "ratio must be nonnegative")
+    return (mob_to_msg_ratio + 1) * always_inform_message_cost(g, c)
+
+
+def location_view_message_cost(lv: int, g: int, c: CostModel) -> float:
+    """Location view: one group message costs
+    ``(|LV(G)|-1) * C_fixed + |G| * C_wireless``
+    (uplink from the sender, fan-out to the view, downlink to the
+    other members)."""
+    _require(lv >= 1, "|LV| must be >= 1")
+    _require(g >= lv, "|G| >= |LV| (each view cell hosts >= 1 member)")
+    return (lv - 1) * c.c_fixed + g * c.c_wireless
+
+
+def location_view_update_cost_bound(lv: int, c: CostModel) -> float:
+    """Cost of updating LV(G) after a significant move: at most
+    ``(|LV(G)| + 3) * C_fixed`` (the 3 extras: new MSS -> previous MSS,
+    previous MSS -> coordinator, coordinator -> new MSS)."""
+    _require(lv >= 0, "|LV| must be nonnegative")
+    return (lv + 3) * c.c_fixed
+
+
+def location_view_total_cost_bound(
+    lv_max: int, g: int, f: float, mob: int, msg: int, c: CostModel
+) -> float:
+    """Location view total cost, upper bound:
+    ``(f*MOB + MSG) * |LV^max| * C_fixed
+    + (3*f*MOB - MSG) * C_fixed + |G| * MSG * C_wireless``."""
+    _require(0.0 <= f <= 1.0, "f must be a fraction")
+    _require(mob >= 0 and msg >= 0, "MOB and MSG must be nonnegative")
+    significant = f * mob
+    return (
+        (significant + msg) * lv_max * c.c_fixed
+        + (3 * significant - msg) * c.c_fixed
+        + g * msg * c.c_wireless
+    )
+
+
+def location_view_effective_cost_bound(
+    lv_max: int, g: int, f: float, mob_to_msg_ratio: float, c: CostModel
+) -> float:
+    """Effective cost per group message, upper bound:
+    ``((f*ratio + 1) * |LV^max| + 3*f*ratio - 1) * C_fixed
+    + |G| * C_wireless`` -- depends only on the *significant* fraction
+    of the mobility-to-message ratio."""
+    _require(0.0 <= f <= 1.0, "f must be a fraction")
+    _require(mob_to_msg_ratio >= 0, "ratio must be nonnegative")
+    fr = f * mob_to_msg_ratio
+    return (
+        ((fr + 1) * lv_max + 3 * fr - 1) * c.c_fixed
+        + g * c.c_wireless
+    )

@@ -1,0 +1,107 @@
+"""Parameter sweeps with multi-seed statistics.
+
+Benchmarks that involve randomness (workload-driven runs) should not
+hang their conclusions on a single seed.  :func:`sweep` runs one
+experiment function across a parameter grid and several seeds and
+aggregates each cell into a :class:`Summary` (mean, standard
+deviation, min, max), so "who wins" claims can be asserted on means
+with dispersion in view.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Aggregate statistics of one swept cell."""
+
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    n: int
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.n <= 1:
+            return 0.0
+        return self.stdev / math.sqrt(self.n)
+
+    def __repr__(self) -> str:
+        return (
+            f"Summary(mean={self.mean:.3g}, stdev={self.stdev:.3g}, "
+            f"n={self.n})"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Aggregate a sample of measurements."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ConfigurationError("cannot summarize an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        stdev = math.sqrt(variance)
+    else:
+        stdev = 0.0
+    return Summary(
+        mean=mean,
+        stdev=stdev,
+        minimum=min(values),
+        maximum=max(values),
+        n=n,
+    )
+
+
+def sweep(
+    experiment: Callable[..., float],
+    parameters: Iterable,
+    seeds: Sequence[int],
+) -> Dict[object, Summary]:
+    """Run ``experiment(parameter, seed)`` over a grid and summarize.
+
+    Args:
+        experiment: function returning one scalar measurement.
+        parameters: the swept values (each becomes a result key).
+        seeds: seeds to repeat each cell with.
+
+    Returns:
+        ``{parameter: Summary}`` in parameter order.
+    """
+    if not seeds:
+        raise ConfigurationError("sweep needs at least one seed")
+    results: Dict[object, Summary] = {}
+    for parameter in parameters:
+        samples = [experiment(parameter, seed) for seed in seeds]
+        results[parameter] = summarize(samples)
+    return results
+
+
+def series(
+    sweep_result: Dict[object, Summary]
+) -> Tuple[List[object], List[float], List[float]]:
+    """Split a sweep result into (x, means, stderrs) for plotting or
+    table printing."""
+    xs = list(sweep_result)
+    means = [sweep_result[x].mean for x in xs]
+    errors = [sweep_result[x].stderr for x in xs]
+    return xs, means, errors
+
+
+def dominates(
+    left: Dict[object, Summary], right: Dict[object, Summary]
+) -> bool:
+    """Whether ``left``'s mean is below ``right``'s at every swept
+    point (a robust "left wins everywhere" check)."""
+    if left.keys() != right.keys():
+        raise ConfigurationError("sweeps cover different parameters")
+    return all(left[x].mean < right[x].mean for x in left)

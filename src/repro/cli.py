@@ -1,0 +1,490 @@
+"""Command-line interface: run mobile-system scenarios from a shell.
+
+Three subcommands, one per section of the paper::
+
+    python -m repro mutex  --algorithm L2 --n-mss 6 --n-mh 20 \
+        --request-rate 0.05 --move-rate 0.02 --duration 500
+    python -m repro groups --strategy location_view --group-size 8 \
+        --message-rate 0.05 --move-rate 0.01 --duration 1000
+    python -m repro proxy  --policy adaptive --move-rate 0.05 \
+        --message-rate 0.05 --duration 1000
+
+Each prints a summary of what happened plus the cost report in the
+paper's currency.  All runs are deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+from typing import List, Optional
+
+from repro.facade import Simulation
+from repro.groups import (
+    AlwaysInformGroup,
+    LocationViewGroup,
+    PureSearchGroup,
+)
+from repro.metrics import CostModel
+from repro.mobility import UniformMobility
+from repro.mutex import CriticalResource, L1Mutex, L2Mutex, R1Mutex, R2Mutex
+from repro.mutex.r2 import R2Variant
+from repro.proxy import (
+    AdaptiveProxyPolicy,
+    FixedProxyPolicy,
+    LocalProxyPolicy,
+    ProxiedMessenger,
+    ProxyManager,
+)
+from repro.sim import PoissonProcess
+from repro.workload import GroupMessagingWorkload, MutexWorkload
+
+GROUP_STRATEGIES = {
+    "pure_search": PureSearchGroup,
+    "always_inform": AlwaysInformGroup,
+    "location_view": LocationViewGroup,
+}
+
+PROXY_POLICIES = {
+    "fixed": FixedProxyPolicy,
+    "local": LocalProxyPolicy,
+    "adaptive": AdaptiveProxyPolicy,
+}
+
+MUTEX_ALGORITHMS = ("L1", "L2", "R1", "R2", "R2'", "R2''")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for shell-completion tools)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Run scenarios from 'Structuring Distributed Algorithms "
+            "for Mobile Hosts' (ICDCS 1994)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--n-mss", type=int, default=6,
+                       help="number of support stations (M)")
+        p.add_argument("--n-mh", type=int, default=12,
+                       help="number of mobile hosts (N)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--duration", type=float, default=500.0,
+                       help="simulated time to run")
+        p.add_argument("--move-rate", type=float, default=0.0,
+                       help="moves per MH per time unit")
+        p.add_argument("--search", default="abstract",
+                       choices=["abstract", "broadcast", "home-agent",
+                                "caching"])
+        p.add_argument("--c-fixed", type=float, default=1.0)
+        p.add_argument("--c-wireless", type=float, default=5.0)
+        p.add_argument("--c-search", type=float, default=10.0)
+
+    mutex = sub.add_parser(
+        "mutex", help="distributed mutual exclusion (Section 3)"
+    )
+    common(mutex)
+    mutex.add_argument("--algorithm", default="L2",
+                       choices=MUTEX_ALGORITHMS)
+    mutex.add_argument("--request-rate", type=float, default=0.05,
+                       help="requests per MH per time unit")
+    mutex.add_argument("--cs-duration", type=float, default=0.5)
+
+    groups = sub.add_parser(
+        "groups", help="group location management (Section 4)"
+    )
+    common(groups)
+    groups.add_argument("--strategy", default="location_view",
+                        choices=sorted(GROUP_STRATEGIES))
+    groups.add_argument("--group-size", type=int, default=6)
+    groups.add_argument("--message-rate", type=float, default=0.05,
+                        help="group messages per time unit")
+
+    proxy = sub.add_parser(
+        "proxy", help="the proxy framework (Section 5)"
+    )
+    common(proxy)
+    proxy.add_argument("--policy", default="fixed",
+                       choices=sorted(PROXY_POLICIES))
+    proxy.add_argument("--message-rate", type=float, default=0.05,
+                       help="MH-to-MH letters per time unit")
+
+    multicast = sub.add_parser(
+        "multicast",
+        help="exactly-once multicast (the paper's reference [1])",
+    )
+    common(multicast)
+    multicast.add_argument("--group-size", type=int, default=6)
+    multicast.add_argument("--message-rate", type=float, default=0.05)
+    multicast.add_argument("--no-gc", action="store_true",
+                           help="disable buffer garbage collection")
+
+    compare = sub.add_parser(
+        "compare",
+        help="reproduce the paper's headline comparisons, "
+             "measured vs predicted",
+    )
+    common(compare)
+    compare.add_argument(
+        "--experiment", default="all",
+        choices=["all", "lamport", "ring", "groups"],
+        help="which comparison to run (default: all)",
+    )
+
+    return parser
+
+
+def _build_sim(args) -> Simulation:
+    return Simulation(
+        n_mss=args.n_mss,
+        n_mh=args.n_mh,
+        seed=args.seed,
+        cost_model=CostModel(
+            c_fixed=args.c_fixed,
+            c_wireless=args.c_wireless,
+            c_search=args.c_search,
+        ),
+        search=args.search,
+    )
+
+
+def _maybe_mobility(sim: Simulation, args, mh_ids) -> Optional[object]:
+    if args.move_rate <= 0:
+        return None
+    return UniformMobility(
+        sim.network, mh_ids, args.move_rate,
+        rng=random.Random(args.seed + 101),
+    )
+
+
+def _print_report(sim: Simulation, emit) -> None:
+    report = sim.metrics.report(sim.cost_model)
+    emit("")
+    emit("message totals : "
+         + ", ".join(f"{k}={v}" for k, v in report["totals"].items()))
+    emit(f"total cost     : {report['cost_total']:.1f}")
+    for scope in sorted(report["cost_by_scope"]):
+        emit(f"  {scope:<16}: {report['cost_by_scope'][scope]:.1f}")
+    emit(f"MH energy      : {report['energy_total']} wireless ops")
+
+
+def _run_mutex(args, emit) -> int:
+    sim = _build_sim(args)
+    resource = CriticalResource(sim.scheduler)
+    name = args.algorithm
+    if name == "L1":
+        mutex = L1Mutex(sim.network, sim.mh_ids, resource,
+                        cs_duration=args.cs_duration)
+    elif name == "L2":
+        mutex = L2Mutex(sim.network, resource,
+                        cs_duration=args.cs_duration)
+    elif name == "R1":
+        mutex = R1Mutex(sim.network, sim.mh_ids, resource,
+                        cs_duration=args.cs_duration)
+    else:
+        variant = {
+            "R2": R2Variant.PLAIN,
+            "R2'": R2Variant.COUNTER,
+            "R2''": R2Variant.TOKEN_LIST,
+        }[name]
+        mutex = R2Mutex(sim.network, resource, variant=variant,
+                        cs_duration=args.cs_duration)
+        mutex.start()
+
+    if name in ("L1", "R1"):
+        emit(f"note: {name} is a baseline; requests are issued once "
+             f"up front (it has no completion-driven workload hook)")
+        requesters = sim.mh_ids[: max(1, args.n_mh // 3)]
+        for mh_id in requesters:
+            if name == "L1":
+                mutex.request(mh_id)
+            else:
+                mutex.want(mh_id)
+        if name == "R1":
+            mutex.start()
+        workload = None
+    else:
+        workload = MutexWorkload(
+            sim.network, mutex, sim.mh_ids, args.request_rate,
+            rng=random.Random(args.seed + 7),
+        )
+    mobility = _maybe_mobility(sim, args, sim.mh_ids)
+
+    sim.run(until=args.duration)
+    if workload is not None:
+        workload.stop()
+    if mobility is not None:
+        mobility.stop()
+    if name in ("R2", "R2'", "R2''"):
+        # Let in-flight requests finish, then stop the ring.
+        issued = workload.issued if workload else 0
+        deadline = sim.now + 20 * args.duration
+        while (workload and workload.completed < issued
+               and sim.now < deadline):
+            sim.run(until=sim.now + 50.0)
+        mutex.max_traversals = 0
+        sim.run(until=sim.now + 200.0)
+    elif name == "R1":
+        # Stop the token at its next arrival at the ring head, else it
+        # would circulate forever.
+        mutex.max_traversals = 0
+        sim.run(until=sim.now + 10 * args.duration)
+    else:
+        sim.drain()
+
+    emit(f"algorithm      : {name}")
+    emit(f"region accesses: {resource.access_count}")
+    if workload is not None:
+        emit(f"requests       : issued={workload.issued} "
+             f"completed={workload.completed} "
+             f"dropped={workload.dropped}")
+    resource.assert_no_overlap()
+    emit("safety         : verified (no overlapping accesses)")
+    _print_report(sim, emit)
+    return 0
+
+
+def _run_groups(args, emit) -> int:
+    if args.group_size > args.n_mh:
+        raise SystemExit("--group-size cannot exceed --n-mh")
+    sim = _build_sim(args)
+    members = sim.mh_ids[: args.group_size]
+    strategy = GROUP_STRATEGIES[args.strategy](sim.network, members)
+    workload = GroupMessagingWorkload(
+        sim.network, strategy, args.message_rate,
+        rng=random.Random(args.seed + 7),
+    )
+    mobility = _maybe_mobility(sim, args, members)
+    sim.run(until=args.duration)
+    workload.stop()
+    if mobility is not None:
+        mobility.stop()
+    sim.drain()
+
+    stats = strategy.stats
+    emit(f"strategy       : {args.strategy}")
+    emit(f"group          : {len(members)} members")
+    emit(f"MSG (messages) : {stats.messages}")
+    emit(f"MOB (moves)    : {stats.moves}")
+    emit(f"MOB/MSG ratio  : {stats.mobility_to_message_ratio:.2f}")
+    if args.strategy == "location_view":
+        emit(f"significant f  : {stats.significant_fraction:.2f}")
+        emit(f"|LV| now/max   : {strategy.view_size()}"
+             f"/{strategy.max_view_size}")
+    emit(f"deliveries     : {stats.deliveries} "
+         f"(missed in transients: {stats.missed})")
+    if stats.messages:
+        cost = sim.cost(strategy.scope)
+        emit(f"effective cost : {cost / stats.messages:.1f} per message")
+    _print_report(sim, emit)
+    return 0
+
+
+def _run_proxy(args, emit) -> int:
+    sim = _build_sim(args)
+    policy = PROXY_POLICIES[args.policy]()
+    manager = ProxyManager(sim.network, policy, sim.mh_ids)
+    messenger = ProxiedMessenger(manager)
+    rng = random.Random(args.seed + 7)
+    sent = [0]
+
+    def send_one() -> None:
+        src, dst = rng.sample(sim.mh_ids, 2)
+        if sim.network.mobile_host(src).is_connected:
+            sent[0] += 1
+            messenger.send(src, dst, ("letter", sent[0]))
+
+    traffic = PoissonProcess(sim.scheduler, args.message_rate, send_one,
+                             rng=random.Random(args.seed + 8))
+    mobility = _maybe_mobility(sim, args, sim.mh_ids)
+    sim.run(until=args.duration)
+    traffic.stop()
+    if mobility is not None:
+        mobility.stop()
+    sim.drain()
+
+    emit(f"policy         : {args.policy}")
+    emit(f"letters        : sent={sent[0]} "
+         f"delivered={len(messenger.delivered)} "
+         f"missed={len(messenger.missed)}")
+    if hasattr(policy, "inform_messages"):
+        emit(f"informs        : {policy.inform_messages}")
+    if hasattr(policy, "demotions"):
+        emit(f"mode switches  : demotions={policy.demotions} "
+             f"promotions={policy.promotions}")
+    if sent[0]:
+        emit(f"effective cost : {sim.cost('proxy') / sent[0]:.1f} "
+             f"per letter")
+    _print_report(sim, emit)
+    return 0
+
+
+def _run_multicast(args, emit) -> int:
+    from repro.multicast import ExactlyOnceMulticast
+
+    if args.group_size > args.n_mh:
+        raise SystemExit("--group-size cannot exceed --n-mh")
+    sim = _build_sim(args)
+    members = sim.mh_ids[: args.group_size]
+    feed = ExactlyOnceMulticast(sim.network, members, gc=not args.no_gc)
+    rng = random.Random(args.seed + 7)
+    sent = [0]
+
+    def send_one() -> None:
+        sender = rng.choice(members)
+        if sim.network.mobile_host(sender).is_connected:
+            sent[0] += 1
+            feed.send(sender, ("m", sent[0]))
+
+    traffic = PoissonProcess(sim.scheduler, args.message_rate, send_one,
+                             rng=random.Random(args.seed + 8))
+    mobility = _maybe_mobility(sim, args, members)
+    sim.run(until=args.duration)
+    traffic.stop()
+    if mobility is not None:
+        mobility.stop()
+    sim.drain()
+
+    total = feed.messages_sent
+    exact = all(
+        feed.delivered_seqs(member) == list(range(1, total + 1))
+        for member in members
+    )
+    emit(f"group          : {len(members)} members")
+    emit(f"messages       : {total}")
+    emit(f"exactly once   : {exact} (every member, in total order)")
+    peak = max(feed.buffer_size(mss_id) for mss_id in sim.mss_ids)
+    emit(f"buffered now   : {peak} "
+         + ("(GC disabled)" if args.no_gc else "(after GC)"))
+    _print_report(sim, emit)
+    return 0 if exact else 1
+
+
+def _run_compare(args, emit) -> int:
+    from repro.analysis import comparisons, formulas
+
+    model = CostModel(
+        c_fixed=args.c_fixed,
+        c_wireless=args.c_wireless,
+        c_search=args.c_search,
+    )
+    n = max(args.n_mh, 4)
+    m = max(args.n_mss, 4)
+    failures = 0
+
+    def row(label: str, measured: float, predicted: float) -> None:
+        nonlocal failures
+        ok = abs(measured - predicted) < 1e-9
+        if not ok:
+            failures += 1
+        emit(f"  {label:<34}{measured:>10.1f}{predicted:>11.1f}"
+             f"   {'OK' if ok else 'MISMATCH'}")
+
+    def fresh(n_mss, n_mh):
+        return Simulation(n_mss=n_mss, n_mh=n_mh, seed=args.seed,
+                          cost_model=model, search=args.search)
+
+    if args.experiment in ("all", "lamport"):
+        emit(f"== Lamport: L1 (N={n} MHs) vs L2 (M={m} MSSs) ==")
+        emit(f"  {'quantity':<34}{'measured':>10}{'predicted':>11}")
+        sim = fresh(n, n)  # one cell per MH: every message searches
+        resource = CriticalResource(sim.scheduler)
+        l1 = L1Mutex(sim.network, sim.mh_ids, resource)
+        l1.request("mh-0")
+        sim.drain()
+        row("L1 cost / execution", sim.cost("L1"),
+            formulas.l1_execution_cost(n, model))
+        row("L1 total MH energy", sim.metrics.energy(),
+            formulas.l1_energy_total(n))
+        sim = fresh(m, n)
+        resource = CriticalResource(sim.scheduler)
+        l2 = L2Mutex(sim.network, resource)
+        l2.request("mh-0")
+        sim.mh(0).move_to(sim.mss_id(1))
+        sim.drain()
+        row("L2 cost / execution", sim.cost("L2"),
+            formulas.l2_execution_cost(m, model))
+        factor = comparisons.l1_vs_l2(n, m, model)
+        emit(f"  winner: {factor.winner} by {factor.factor:.1f}x")
+        emit("")
+
+    if args.experiment in ("all", "ring"):
+        emit(f"== Token ring: R1 (N={n}) vs R2 (M={m}), K=2 ==")
+        emit(f"  {'quantity':<34}{'measured':>10}{'predicted':>11}")
+        sim = fresh(n, n)
+        resource = CriticalResource(sim.scheduler)
+        r1 = R1Mutex(sim.network, sim.mh_ids, resource,
+                     max_traversals=1)
+        r1.want("mh-1")
+        r1.want("mh-2")
+        r1.start()
+        sim.drain()
+        row("R1 cost / traversal", sim.cost("R1"),
+            formulas.r1_traversal_cost(n, model))
+        sim = fresh(m, m)
+        resource = CriticalResource(sim.scheduler)
+        r2 = R2Mutex(sim.network, resource, max_traversals=1)
+        before = sim.metrics.snapshot()
+        for i in range(2):
+            r2.request(f"mh-{i}")
+        sim.drain()
+        for i in range(2):
+            sim.mh(i).move_to(sim.mss_id((i + 2) % m))
+        sim.drain()
+        r2.start()
+        sim.drain()
+        row("R2 cost / traversal (K=2)",
+            sim.metrics.since(before).cost(model, "R2"),
+            formulas.r2_traversal_cost(2, m, model))
+        k_star = comparisons.r1_r2_crossover_k(n, m, model)
+        emit(f"  crossover: R2 wins while K < {k_star:.1f}")
+        emit("")
+
+    if args.experiment in ("all", "groups"):
+        g = min(5, n)
+        emit(f"== Group strategies, one message, |G|={g} ==")
+        emit(f"  {'quantity':<34}{'measured':>10}{'predicted':>11}")
+        from repro.groups import (
+            AlwaysInformGroup, LocationViewGroup, PureSearchGroup,
+        )
+        for label, cls, predicted in (
+            ("pure search / message", PureSearchGroup,
+             formulas.pure_search_message_cost(g, model)),
+            ("always inform / message", AlwaysInformGroup,
+             formulas.always_inform_message_cost(g, model)),
+            ("location view / message", LocationViewGroup,
+             formulas.location_view_message_cost(g, g, model)),
+        ):
+            sim = fresh(g + 2, g)
+            group = cls(sim.network, sim.mh_ids)
+            before = sim.metrics.snapshot()
+            group.send("mh-0", "x")
+            sim.drain()
+            row(label, sim.metrics.since(before).cost(model, group.scope),
+                predicted)
+        ratio = comparisons.always_inform_vs_pure_search_ratio(model)
+        emit(f"  always-inform beats pure search while "
+             f"MOB/MSG < {ratio:.2f}")
+        emit("")
+
+    emit("all comparisons matched the paper's formulas"
+         if failures == 0 else f"{failures} MISMATCHES")
+    return 0 if failures == 0 else 1
+
+
+def main(argv: Optional[List[str]] = None, emit=print) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "mutex":
+        return _run_mutex(args, emit)
+    if args.command == "groups":
+        return _run_groups(args, emit)
+    if args.command == "proxy":
+        return _run_proxy(args, emit)
+    if args.command == "multicast":
+        return _run_multicast(args, emit)
+    if args.command == "compare":
+        return _run_compare(args, emit)
+    raise SystemExit(f"unknown command {args.command!r}")

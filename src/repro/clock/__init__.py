@@ -1,0 +1,5 @@
+"""Logical clocks (substrate S8)."""
+
+from repro.clock.lamport import LamportClock, Timestamp
+
+__all__ = ["LamportClock", "Timestamp"]

@@ -1,0 +1,64 @@
+"""Lamport logical clocks (Lamport 1978, the paper's reference [11]).
+
+Timestamps are ``(counter, node_id)`` pairs ordered lexicographically,
+which yields the total order Lamport's mutual exclusion algorithm needs
+(ties on the counter are broken by node id).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.errors import ConfigurationError
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Timestamp:
+    """A totally ordered Lamport timestamp."""
+
+    counter: int
+    node_id: str
+
+    def __lt__(self, other: "Timestamp") -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return (self.counter, self.node_id) < (other.counter, other.node_id)
+
+    def __repr__(self) -> str:
+        return f"({self.counter}, {self.node_id})"
+
+
+class LamportClock:
+    """A per-node logical clock.
+
+    ``tick()`` stamps a local event (or a send); ``witness(ts)`` merges a
+    received timestamp, advancing the local counter past it as Lamport's
+    rules require.
+    """
+
+    def __init__(self, node_id: str) -> None:
+        if not node_id:
+            raise ConfigurationError("node_id must be nonempty")
+        self.node_id = node_id
+        self._counter = 0
+
+    @property
+    def counter(self) -> int:
+        """Current value of the local counter."""
+        return self._counter
+
+    def tick(self) -> Timestamp:
+        """Advance the clock for a local/send event; return the stamp."""
+        self._counter += 1
+        return Timestamp(self._counter, self.node_id)
+
+    def witness(self, timestamp: Timestamp) -> Timestamp:
+        """Merge a received timestamp and advance (receive event)."""
+        self._counter = max(self._counter, timestamp.counter) + 1
+        return Timestamp(self._counter, self.node_id)
+
+    def peek(self) -> Timestamp:
+        """Current stamp without advancing (for comparisons only)."""
+        return Timestamp(self._counter, self.node_id)

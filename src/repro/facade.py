@@ -1,0 +1,193 @@
+"""The :class:`Simulation` facade -- the library's one-stop entry point.
+
+Builds a complete mobile system (scheduler, metrics, network, M support
+stations, N mobile hosts with an initial placement) from a handful of
+parameters, and exposes convenience accessors used by the examples,
+tests and benchmarks.
+
+Example::
+
+    from repro import CostModel, Simulation
+
+    sim = Simulation(n_mss=5, n_mh=20, seed=42)
+    sim.mh(0).move_to(sim.mss_id(3))
+    sim.run(until=100.0)
+    print(sim.metrics.report(sim.cost_model))
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.hosts import MobileHost, MobileSupportStation
+from repro.metrics import CostModel, MetricsCollector
+from repro.net import Network, NetworkConfig
+from repro.net.cache_search import CachingSearch
+from repro.net.regional_search import RegionalSearch
+from repro.net.search import (
+    AbstractSearch,
+    BroadcastSearch,
+    HomeAgentSearch,
+    SearchProtocol,
+)
+from repro.sim import Scheduler
+
+#: ways to place the N MHs into the M cells at construction time.
+Placement = Union[str, Sequence[int], Callable[[int, int], int]]
+
+_SEARCH_FACTORIES: Dict[str, Callable[[], SearchProtocol]] = {
+    "abstract": AbstractSearch,
+    "broadcast": BroadcastSearch,
+    "home-agent": HomeAgentSearch,
+    "caching": CachingSearch,
+    "regional": RegionalSearch,
+}
+
+
+def _resolve_placement(
+    placement: Placement, n_mh: int, n_mss: int, rng: random.Random
+) -> List[int]:
+    """Index of the initial cell for each MH."""
+    if callable(placement):
+        return [placement(i, n_mss) % n_mss for i in range(n_mh)]
+    if isinstance(placement, str):
+        if placement == "round_robin":
+            return [i % n_mss for i in range(n_mh)]
+        if placement == "single_cell":
+            return [0] * n_mh
+        if placement == "random":
+            return [rng.randrange(n_mss) for _ in range(n_mh)]
+        raise ConfigurationError(f"unknown placement: {placement!r}")
+    cells = list(placement)
+    if len(cells) != n_mh:
+        raise ConfigurationError(
+            f"placement lists {len(cells)} cells for {n_mh} MHs"
+        )
+    return [cell % n_mss for cell in cells]
+
+
+class Simulation:
+    """A fully wired mobile system.
+
+    Args:
+        n_mss: number of support stations M (ids ``mss-0`` .. ``mss-{M-1}``).
+        n_mh: number of mobile hosts N (ids ``mh-0`` .. ``mh-{N-1}``).
+        seed: master random seed (drives latency draws, placements and
+            any workload built on :attr:`rng`).
+        cost_model: pricing used when reporting costs (counting is
+            price-independent).
+        config: network timing knobs.
+        search: ``"abstract"`` (default), ``"broadcast"``,
+            ``"home-agent"``, or a :class:`SearchProtocol` instance.
+        placement: initial MH placement -- ``"round_robin"`` (default),
+            ``"single_cell"``, ``"random"``, an explicit list of cell
+            indices, or a callable ``(mh_index, n_mss) -> cell_index``.
+    """
+
+    def __init__(
+        self,
+        n_mss: int,
+        n_mh: int,
+        seed: int = 0,
+        cost_model: Optional[CostModel] = None,
+        config: Optional[NetworkConfig] = None,
+        search: Union[str, SearchProtocol] = "abstract",
+        placement: Placement = "round_robin",
+        timeline: bool = False,
+    ) -> None:
+        if n_mss < 1:
+            raise ConfigurationError("need at least one MSS")
+        if n_mh < 0:
+            raise ConfigurationError("n_mh must be nonnegative")
+        self.n_mss = n_mss
+        self.n_mh = n_mh
+        self.rng = random.Random(seed)
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.scheduler = Scheduler()
+        if timeline:
+            from repro.metrics.timeline import TimelineCollector
+
+            self.metrics = TimelineCollector(self.scheduler)
+        else:
+            self.metrics = MetricsCollector()
+        if isinstance(search, str):
+            try:
+                search = _SEARCH_FACTORIES[search]()
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown search protocol {search!r}; options: "
+                    f"{sorted(_SEARCH_FACTORIES)}"
+                ) from None
+        self.network = Network(
+            scheduler=self.scheduler,
+            metrics=self.metrics,
+            config=config,
+            search_protocol=search,
+            rng=random.Random(self.rng.getrandbits(64)),
+        )
+        self._mss: List[MobileSupportStation] = []
+        for i in range(n_mss):
+            mss = MobileSupportStation(f"mss-{i}", self.network)
+            self.network.register_mss(mss)
+            self._mss.append(mss)
+        self._mh: List[MobileHost] = []
+        cells = _resolve_placement(placement, n_mh, n_mss, self.rng)
+        for i in range(n_mh):
+            mh = MobileHost(f"mh-{i}", self.network)
+            self.network.register_mh(mh)
+            mh.attach_initial(f"mss-{cells[i]}")
+            self._mh.append(mh)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    def mss(self, index: int) -> MobileSupportStation:
+        """The i-th support station."""
+        return self._mss[index]
+
+    def mh(self, index: int) -> MobileHost:
+        """The i-th mobile host."""
+        return self._mh[index]
+
+    def mss_id(self, index: int) -> str:
+        """Id of the i-th support station."""
+        return self._mss[index].host_id
+
+    def mh_id(self, index: int) -> str:
+        """Id of the i-th mobile host."""
+        return self._mh[index].host_id
+
+    @property
+    def mss_ids(self) -> List[str]:
+        """Ids of all support stations, in order."""
+        return [mss.host_id for mss in self._mss]
+
+    @property
+    def mh_ids(self) -> List[str]:
+        """Ids of all mobile hosts, in order."""
+        return [mh.host_id for mh in self._mh]
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.scheduler.now
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        """Advance the simulation (see :meth:`Scheduler.run`)."""
+        return self.scheduler.run(until=until, max_events=max_events)
+
+    def drain(self, max_events: int = 1_000_000) -> int:
+        """Run until no events remain (see :meth:`Scheduler.drain`)."""
+        return self.scheduler.drain(max_events=max_events)
+
+    def cost(self, scope: Optional[str] = None) -> float:
+        """Total recorded cost, priced with this simulation's model."""
+        return self.metrics.cost(self.cost_model, scope)

@@ -1,0 +1,41 @@
+"""Group location management for mobile hosts (Section 4; S16-S18).
+
+*Group location* -- the set of current locations of a group's members --
+is the new problem host mobility adds to process groups.  Three
+strategies manage it, trading *search* cost (finding members when a
+group message is sent) against *inform* cost (propagating location
+updates when members move):
+
+* :class:`PureSearchGroup` -- no location state; every group message
+  searches for every member.  Per-message cost
+  ``(|G|-1)*(2*C_wireless + C_search)``, independent of mobility.
+* :class:`AlwaysInformGroup` -- every member keeps a location directory
+  ``LD(G)``; every move floods location updates to all members.
+  Effective per-message cost
+  ``(MOB/MSG + 1)*(|G|-1)*(2*C_wireless + C_fixed)``.
+* :class:`LocationViewGroup` -- the location view ``LV(G)`` (the set of
+  MSSs hosting at least one member) is replicated at the view MSSs and
+  serialized through a coordinator; only *significant* moves update it.
+  Effective per-message cost depends only on the significant fraction
+  of the mobility-to-message ratio, and static-network traffic is
+  proportional to ``|LV|`` rather than ``|G|``.
+
+All three share the :class:`GroupStats` accounting of MOB (member
+moves), MSG (group messages) and deliveries, so benches can compute the
+paper's effective costs directly.
+"""
+
+from repro.groups.base import GroupStats, GroupStrategy
+from repro.groups.pure_search import PureSearchGroup
+from repro.groups.always_inform import AlwaysInformGroup
+from repro.groups.location_view import LocationViewGroup
+from repro.groups.ordered import OrderedGroup
+
+__all__ = [
+    "AlwaysInformGroup",
+    "GroupStats",
+    "GroupStrategy",
+    "LocationViewGroup",
+    "OrderedGroup",
+    "PureSearchGroup",
+]

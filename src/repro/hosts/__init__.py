@@ -1,0 +1,29 @@
+"""Host entities (substrate S6): mobile hosts and support stations.
+
+The classes here implement the mobility protocol of Section 2 verbatim:
+
+* ``leave(r)`` -- a departing MH reports the sequence number of the last
+  message received on the MSS->MH channel and then neither sends nor
+  receives in the old cell;
+* ``join(mh_id, prev_mss_id)`` -- an arriving MH identifies itself and
+  (when the algorithm needs handoff) names its previous MSS;
+* *handoff* -- the new MSS pulls algorithm-specific per-MH state from
+  the previous MSS;
+* ``disconnect(r)`` / ``reconnect(mh_id, prev_mss_id)`` -- like a move,
+  except the old MSS keeps a "disconnected" flag for the MH and answers
+  searches with the disconnected status until the flag is cleared by the
+  reconnect handoff.  A MH that cannot name its previous MSS forces the
+  new MSS to query every fixed host.
+"""
+
+from repro.hosts.base import Host
+from repro.hosts.mh import HostState, MobileHost
+from repro.hosts.mss import HandoffParticipant, MobileSupportStation
+
+__all__ = [
+    "HandoffParticipant",
+    "Host",
+    "HostState",
+    "MobileHost",
+    "MobileSupportStation",
+]

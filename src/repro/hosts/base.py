@@ -1,0 +1,59 @@
+"""Base class shared by mobile hosts and support stations."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict
+
+from repro.errors import ProtocolError, SimulationError
+from repro.net.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.network import Network
+
+Handler = Callable[[Message], None]
+
+
+class Host:
+    """A named message-handling endpoint.
+
+    Protocols attach behaviour by registering one handler per message
+    kind; the host dispatches on exact kind match.  Kinds are namespaced
+    by protocol (``"l2.request"``), so independent protocols can coexist
+    on the same host without collisions.
+    """
+
+    def __init__(self, host_id: str, network: "Network") -> None:
+        if not host_id:
+            raise SimulationError("host_id must be a nonempty string")
+        self.host_id = host_id
+        self.network = network
+        self._handlers: Dict[str, Handler] = {}
+
+    def register_handler(self, kind: str, handler: Handler) -> None:
+        """Register ``handler`` for messages of ``kind``.
+
+        Re-registering a kind is an error: it almost always means two
+        protocol instances were attached to the same host.
+        """
+        if kind in self._handlers:
+            raise SimulationError(
+                f"{self.host_id}: handler for {kind!r} already registered"
+            )
+        self._handlers[kind] = handler
+
+    def unregister_handler(self, kind: str) -> None:
+        """Remove the handler for ``kind`` (no-op if absent)."""
+        self._handlers.pop(kind, None)
+
+    def handle_message(self, message: Message) -> None:
+        """Dispatch an arriving message to its registered handler."""
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            raise ProtocolError(
+                f"{self.host_id}: no handler for message kind "
+                f"{message.kind!r} (from {message.src})"
+            )
+        handler(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.host_id})"

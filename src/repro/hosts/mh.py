@@ -1,0 +1,244 @@
+"""The mobile host: lifecycle, doze mode, wireless sending helpers."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import NotConnectedError, SimulationError
+from repro.hosts.base import Host
+from repro.hosts.system import (
+    DisconnectPayload,
+    JoinPayload,
+    KIND_DISCONNECT,
+    KIND_JOIN,
+    KIND_LEAVE,
+    KIND_RECONNECT,
+    LeavePayload,
+    MOBILITY_SCOPE,
+    ReconnectPayload,
+)
+from repro.net.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.network import Network
+
+
+class HostState(str, Enum):
+    """Lifecycle states of a mobile host."""
+
+    CONNECTED = "connected"
+    IN_TRANSIT = "in_transit"
+    DISCONNECTED = "disconnected"
+
+
+class MobileHost(Host):
+    """A host that can move between cells while retaining its identity.
+
+    The MH implements its side of the Section 2 mobility protocol:
+    it announces departures with ``leave(r)``, arrivals with
+    ``join(mh_id, prev_mss_id)``, and voluntary disconnections with
+    ``disconnect(r)`` / ``reconnect(...)``.  While in transit or
+    disconnected it neither sends nor receives (enforced by the
+    network's delivery checks).
+
+    Doze mode is orthogonal to connectivity: a dozing MH still receives
+    messages, but each delivery is counted as a *doze interruption* --
+    the quantity the paper's R1-vs-R2 comparison argues about.
+    """
+
+    def __init__(self, host_id: str, network: "Network") -> None:
+        super().__init__(host_id, network)
+        self.state = HostState.DISCONNECTED
+        self.current_mss_id: Optional[str] = None
+        #: MSS of the cell where this MH disconnected (valid while
+        #: :attr:`state` is DISCONNECTED).
+        self.disconnect_mss_id: Optional[str] = None
+        #: incremented on every (re)attachment; lets the network drop
+        #: in-flight downlink messages from a previous residence.
+        self.session = 0
+        #: last downlink sequence number received in the current cell --
+        #: the ``r`` reported by ``leave(r)`` / ``disconnect(r)``.
+        self.last_received_seq = 0
+        self.dozing = False
+        self.doze_interruptions = 0
+        self.moves_completed = 0
+        self._attach_listeners: list = []
+
+    # ------------------------------------------------------------------
+    # State predicates
+    # ------------------------------------------------------------------
+
+    @property
+    def is_connected(self) -> bool:
+        return self.state is HostState.CONNECTED
+
+    @property
+    def is_disconnected(self) -> bool:
+        return self.state is HostState.DISCONNECTED
+
+    @property
+    def in_transit(self) -> bool:
+        return self.state is HostState.IN_TRANSIT
+
+    # ------------------------------------------------------------------
+    # Attachment and movement
+    # ------------------------------------------------------------------
+
+    def add_attach_listener(self, listener) -> None:
+        """Invoke ``listener()`` each time this MH (re)attaches to a
+        cell -- after a move's join or after a reconnect.  Protocol
+        clients use this to flush work deferred while detached (e.g. the
+        L2 ``release_resource`` a disconnected holder owes)."""
+        self._attach_listeners.append(listener)
+
+    def _notify_attached(self) -> None:
+        for listener in self._attach_listeners:
+            listener()
+
+    def attach_initial(self, mss_id: str) -> None:
+        """Place the MH in its first cell at simulation setup.
+
+        Bypasses the join message exchange: initial placement is part of
+        constructing the system, not of its execution.
+        """
+        if self.state is not HostState.DISCONNECTED or self.session != 0:
+            raise SimulationError(
+                f"{self.host_id}: attach_initial after lifecycle started"
+            )
+        mss = self.network.mss(mss_id)
+        self.session += 1
+        self.state = HostState.CONNECTED
+        self.current_mss_id = mss_id
+        self.last_received_seq = 0
+        mss.admit_initial(self.host_id)
+        self.network.notify_mh_joined(self.host_id, mss_id)
+
+    def move_to(self, new_mss_id: str) -> None:
+        """Leave the current cell and join ``new_mss_id`` after transit.
+
+        Sends ``leave(r)`` on the uplink, transitions to IN_TRANSIT (no
+        sending or receiving), and schedules the ``join`` at the new MSS
+        after the configured transit time.
+        """
+        if not self.is_connected:
+            raise NotConnectedError(
+                f"{self.host_id} cannot move while {self.state.value}"
+            )
+        self.network.mss(new_mss_id)  # validate destination exists
+        self._send_system(
+            KIND_LEAVE,
+            LeavePayload(self.host_id, self.last_received_seq),
+        )
+        prev_mss_id = self.current_mss_id
+        self.state = HostState.IN_TRANSIT
+        self.current_mss_id = None
+        self.network.scheduler.schedule(
+            self.network.config.transit_time,
+            self._arrive,
+            new_mss_id,
+            prev_mss_id,
+        )
+
+    def _arrive(self, new_mss_id: str, prev_mss_id: Optional[str]) -> None:
+        self.session += 1
+        self.state = HostState.CONNECTED
+        self.current_mss_id = new_mss_id
+        self.last_received_seq = 0
+        self.moves_completed += 1
+        self._send_system(
+            KIND_JOIN, JoinPayload(self.host_id, prev_mss_id)
+        )
+        self._notify_attached()
+
+    def disconnect(self) -> None:
+        """Voluntarily detach: ``disconnect(r)`` to the local MSS."""
+        if not self.is_connected:
+            raise NotConnectedError(
+                f"{self.host_id} cannot disconnect while {self.state.value}"
+            )
+        self._send_system(
+            KIND_DISCONNECT,
+            DisconnectPayload(self.host_id, self.last_received_seq),
+        )
+        self.disconnect_mss_id = self.current_mss_id
+        self.state = HostState.DISCONNECTED
+        self.current_mss_id = None
+
+    def reconnect(self, mss_id: str, supply_prev: bool = True) -> None:
+        """Reattach at ``mss_id``.
+
+        When ``supply_prev`` is false the reconnect message omits the
+        previous MSS id, forcing the new MSS to query every fixed host
+        to find where the MH disconnected (Section 2).
+        """
+        if not self.is_disconnected:
+            raise NotConnectedError(
+                f"{self.host_id} cannot reconnect while {self.state.value}"
+            )
+        self.network.mss(mss_id)  # validate destination exists
+        prev = self.disconnect_mss_id if supply_prev else None
+        self.session += 1
+        self.state = HostState.CONNECTED
+        self.current_mss_id = mss_id
+        self.last_received_seq = 0
+        self._send_system(
+            KIND_RECONNECT, ReconnectPayload(self.host_id, prev)
+        )
+        self._notify_attached()
+
+    # ------------------------------------------------------------------
+    # Doze mode
+    # ------------------------------------------------------------------
+
+    def doze(self) -> None:
+        """Enter doze mode (reduced activity; deliveries count as
+        interruptions)."""
+        self.dozing = True
+
+    def wake(self) -> None:
+        """Leave doze mode."""
+        self.dozing = False
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+
+    def send_to_mss(self, kind: str, payload: object, scope: str) -> None:
+        """Send a protocol message to the current local MSS (uplink)."""
+        if not self.is_connected:
+            raise NotConnectedError(
+                f"{self.host_id} cannot send while {self.state.value}"
+            )
+        message = Message(
+            kind=kind,
+            src=self.host_id,
+            dst=self.current_mss_id,
+            payload=payload,
+            scope=scope,
+        )
+        self.network.send_wireless_up(self.host_id, message)
+
+    def note_downlink_delivery(self, seq: Optional[int]) -> None:
+        """Record the sequence number of a successfully received
+        downlink message (called by the network)."""
+        if seq is not None:
+            self.last_received_seq = seq
+
+    def handle_message(self, message: Message) -> None:
+        if self.dozing:
+            self.doze_interruptions += 1
+        super().handle_message(message)
+
+    def _send_system(self, kind: str, payload: object) -> None:
+        # leave/disconnect go out while still attached; join/reconnect
+        # right after the state flip -- in all four cases the MH counts
+        # as connected, so the plain uplink applies.
+        message = Message(
+            kind=kind,
+            src=self.host_id,
+            dst=self.current_mss_id,
+            payload=payload,
+            scope=MOBILITY_SCOPE,
+        )
+        self.network.send_wireless_up(self.host_id, message)

@@ -1,0 +1,30 @@
+"""Cost model and metrics accounting (substrate S2).
+
+The paper evaluates algorithms in a three-parameter cost currency:
+
+* ``C_fixed`` — one point-to-point message between two fixed hosts,
+* ``C_wireless`` — one message over a wireless hop (MH <-> local MSS),
+* ``C_search`` — locating a mobile host and forwarding a message to its
+  current MSS (always >= ``C_fixed``).
+
+Every transmission in the simulator is recorded in a
+:class:`MetricsCollector` tagged with a category, the algorithm scope
+that caused it, and the hosts involved.  Benchmarks then price the
+recorded counts with a :class:`CostModel` — the identical currency used
+by the paper's closed-form expressions, which makes measured-vs-predicted
+comparisons exact rather than approximate.
+"""
+
+from repro.metrics.cost import CostModel
+from repro.metrics.collector import (
+    Category,
+    MetricsCollector,
+    MetricsSnapshot,
+)
+
+__all__ = [
+    "Category",
+    "CostModel",
+    "MetricsCollector",
+    "MetricsSnapshot",
+]

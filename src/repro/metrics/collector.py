@@ -1,0 +1,186 @@
+"""Metrics accounting for every transmission in the simulator.
+
+Counts are kept per ``(category, scope)`` where *scope* is a free-form
+label naming the algorithm (or phase) that caused the traffic, e.g.
+``"L2"`` or ``"lv-update"``.  Mobile-host energy is tracked separately:
+each wireless transmission or reception at a MH costs one energy unit,
+mirroring the paper's "battery consumption proportional to the number of
+wireless messages" accounting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.metrics.cost import CostModel
+
+
+class Category(str, Enum):
+    """Transmission categories priced by :class:`CostModel`."""
+
+    FIXED = "fixed"
+    """A point-to-point message between two MSSs."""
+
+    WIRELESS = "wireless"
+    """A message over a wireless hop (either direction)."""
+
+    SEARCH = "search"
+    """One abstract search operation (priced at ``c_search``)."""
+
+    SEARCH_PROBE = "search_probe"
+    """A concrete probe message of a measured search protocol.  Probes
+    travel the fixed network and are priced at ``c_fixed``; they are kept
+    distinct from :attr:`FIXED` so benches can compare the empirical
+    search cost against the abstract ``c_search``."""
+
+
+DEFAULT_SCOPE = "default"
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """An immutable copy of all counters, used to measure deltas."""
+
+    counts: Dict[tuple, int]
+    energy_tx: Dict[str, int]
+    energy_rx: Dict[str, int]
+
+    def total(self, category: Category, scope: Optional[str] = None) -> int:
+        """Total count for ``category`` (optionally restricted to scope)."""
+        if scope is not None:
+            return self.counts.get((category, scope), 0)
+        return sum(
+            count for (cat, _), count in self.counts.items() if cat == category
+        )
+
+    def scopes(self) -> set:
+        """All scope labels present in the snapshot."""
+        return {scope for (_, scope) in self.counts}
+
+    def energy(self, mh_id: Optional[str] = None) -> int:
+        """Energy units consumed at ``mh_id`` (or all MHs combined)."""
+        if mh_id is not None:
+            return self.energy_tx.get(mh_id, 0) + self.energy_rx.get(mh_id, 0)
+        return sum(self.energy_tx.values()) + sum(self.energy_rx.values())
+
+    def cost(
+        self, model: CostModel, scope: Optional[str] = None
+    ) -> float:
+        """Price the snapshot in the paper's cost currency.
+
+        Abstract searches are priced at ``c_search``; concrete search
+        probes at ``c_fixed`` each (they are real fixed-network
+        messages).
+        """
+        return (
+            self.total(Category.FIXED, scope) * model.c_fixed
+            + self.total(Category.WIRELESS, scope) * model.c_wireless
+            + self.total(Category.SEARCH, scope) * model.c_search
+            + self.total(Category.SEARCH_PROBE, scope) * model.c_fixed
+        )
+
+    def diff(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Counters accumulated since ``earlier`` was taken."""
+        counts = Counter(self.counts)
+        counts.subtract(Counter(earlier.counts))
+        tx = Counter(self.energy_tx)
+        tx.subtract(Counter(earlier.energy_tx))
+        rx = Counter(self.energy_rx)
+        rx.subtract(Counter(earlier.energy_rx))
+        return MetricsSnapshot(
+            counts={k: v for k, v in counts.items() if v},
+            energy_tx={k: v for k, v in tx.items() if v},
+            energy_rx={k: v for k, v in rx.items() if v},
+        )
+
+
+@dataclass
+class MetricsCollector:
+    """Mutable accumulator for transmission counts and MH energy."""
+
+    _counts: Counter = field(default_factory=Counter)
+    _energy_tx: Counter = field(default_factory=Counter)
+    _energy_rx: Counter = field(default_factory=Counter)
+
+    def record_fixed(self, scope: str = DEFAULT_SCOPE, count: int = 1) -> None:
+        """Record ``count`` fixed-network messages under ``scope``."""
+        self._counts[(Category.FIXED, scope)] += count
+
+    def record_wireless_tx(
+        self, mh_id: str, scope: str = DEFAULT_SCOPE
+    ) -> None:
+        """Record a wireless transmission originated by MH ``mh_id``."""
+        self._counts[(Category.WIRELESS, scope)] += 1
+        self._energy_tx[mh_id] += 1
+
+    def record_wireless_rx(
+        self, mh_id: str, scope: str = DEFAULT_SCOPE
+    ) -> None:
+        """Record a wireless message received by MH ``mh_id``."""
+        self._counts[(Category.WIRELESS, scope)] += 1
+        self._energy_rx[mh_id] += 1
+
+    def record_search(self, scope: str = DEFAULT_SCOPE) -> None:
+        """Record one abstract search operation."""
+        self._counts[(Category.SEARCH, scope)] += 1
+
+    def record_search_probe(
+        self, scope: str = DEFAULT_SCOPE, count: int = 1
+    ) -> None:
+        """Record ``count`` concrete probe messages of a measured search."""
+        self._counts[(Category.SEARCH_PROBE, scope)] += count
+
+    def total(self, category: Category, scope: Optional[str] = None) -> int:
+        """Current count for ``category`` (optionally within ``scope``)."""
+        return self.snapshot().total(category, scope)
+
+    def energy(self, mh_id: Optional[str] = None) -> int:
+        """Current energy units for one MH (or all MHs)."""
+        return self.snapshot().energy(mh_id)
+
+    def cost(self, model: CostModel, scope: Optional[str] = None) -> float:
+        """Current total cost priced with ``model``."""
+        return self.snapshot().cost(model, scope)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """An immutable copy of all counters at this instant."""
+        return MetricsSnapshot(
+            counts=dict(self._counts),
+            energy_tx=dict(self._energy_tx),
+            energy_rx=dict(self._energy_rx),
+        )
+
+    def since(self, earlier: MetricsSnapshot) -> MetricsSnapshot:
+        """Counters accumulated since ``earlier``."""
+        return self.snapshot().diff(earlier)
+
+    def reset(self) -> None:
+        """Drop all recorded counts."""
+        self._counts.clear()
+        self._energy_tx.clear()
+        self._energy_rx.clear()
+
+    def report(self, model: Optional[CostModel] = None) -> Dict[str, object]:
+        """A plain-dict summary suitable for printing or JSON dumping."""
+        snap = self.snapshot()
+        by_scope: Dict[str, Dict[str, int]] = defaultdict(dict)
+        for (category, scope), count in sorted(
+            snap.counts.items(), key=lambda kv: (kv[0][1], kv[0][0].value)
+        ):
+            by_scope[scope][category.value] = count
+        result: Dict[str, object] = {
+            "totals": {
+                category.value: snap.total(category) for category in Category
+            },
+            "by_scope": dict(by_scope),
+            "energy_total": snap.energy(),
+        }
+        if model is not None:
+            result["cost_total"] = snap.cost(model)
+            result["cost_by_scope"] = {
+                scope: snap.cost(model, scope) for scope in snap.scopes()
+            }
+        return result

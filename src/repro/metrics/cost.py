@@ -1,0 +1,56 @@
+"""The three-parameter cost model of the paper's system model (Section 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Message costs in the mobile system model.
+
+    Attributes:
+        c_fixed: cost of a point-to-point message between two fixed
+            hosts (MSSs) over the static network.
+        c_wireless: cost of one message over the wireless hop between a
+            MH and its local MSS (either direction).
+        c_search: cost to locate a MH and forward a message to its
+            current local MSS.  The paper requires
+            ``c_search >= c_fixed``; in the worst case a source MSS
+            contacts each of the other M-1 MSSs.
+
+    The defaults make search an order of magnitude more expensive than a
+    fixed message and the wireless hop several times a fixed message,
+    reflecting the paper's qualitative assumptions (low-bandwidth
+    wireless links, costly search).
+    """
+
+    c_fixed: float = 1.0
+    c_wireless: float = 5.0
+    c_search: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.c_fixed < 0 or self.c_wireless < 0 or self.c_search < 0:
+            raise ConfigurationError("costs must be nonnegative")
+        if self.c_search < self.c_fixed:
+            raise ConfigurationError(
+                f"the system model requires c_search >= c_fixed "
+                f"(got {self.c_search} < {self.c_fixed})"
+            )
+
+    def worst_case_search(self, n_mss: int) -> float:
+        """Worst-case search cost: probing each of the other M-1 MSSs."""
+        if n_mss < 1:
+            raise ConfigurationError("n_mss must be >= 1")
+        return (n_mss - 1) * self.c_fixed
+
+    def mh_to_mh(self) -> float:
+        """Cost of a MH -> MH message: ``2*c_wireless + c_search``."""
+        return 2 * self.c_wireless + self.c_search
+
+    def mss_to_remote_mh(self) -> float:
+        """Cost of a MSS -> non-local MH message:
+        ``c_search + c_wireless``."""
+        return self.c_search + self.c_wireless

@@ -1,0 +1,157 @@
+"""Time-resolved metrics: cost-over-time series.
+
+The plain :class:`~repro.metrics.MetricsCollector` keeps only totals.
+:class:`TimelineCollector` additionally timestamps every recorded
+transmission, enabling figure-style outputs: cumulative cost curves,
+per-bucket message rates, and per-scope activity over time.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.metrics.collector import Category, MetricsCollector
+from repro.metrics.cost import CostModel
+from repro.sim import Scheduler
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One timestamped transmission record."""
+
+    time: float
+    category: Category
+    scope: str
+    count: int
+    mh_id: Optional[str] = None
+
+
+class TimelineCollector(MetricsCollector):
+    """A metrics collector that also records when traffic happened.
+
+    Use it by passing ``timeline=True`` to
+    :class:`~repro.facade.Simulation`, or construct one directly and
+    hand it to :class:`~repro.net.Network`.
+    """
+
+    def __init__(self, scheduler: Scheduler) -> None:
+        super().__init__()
+        self._scheduler = scheduler
+        self.events: List[TimelineEvent] = []
+
+    # -- recording overrides -------------------------------------------
+
+    def record_fixed(self, scope: str = "default", count: int = 1) -> None:
+        super().record_fixed(scope, count)
+        self._log(Category.FIXED, scope, count)
+
+    def record_wireless_tx(self, mh_id: str,
+                           scope: str = "default") -> None:
+        super().record_wireless_tx(mh_id, scope)
+        self._log(Category.WIRELESS, scope, 1, mh_id)
+
+    def record_wireless_rx(self, mh_id: str,
+                           scope: str = "default") -> None:
+        super().record_wireless_rx(mh_id, scope)
+        self._log(Category.WIRELESS, scope, 1, mh_id)
+
+    def record_search(self, scope: str = "default") -> None:
+        super().record_search(scope)
+        self._log(Category.SEARCH, scope, 1)
+
+    def record_search_probe(self, scope: str = "default",
+                            count: int = 1) -> None:
+        super().record_search_probe(scope, count)
+        self._log(Category.SEARCH_PROBE, scope, count)
+
+    def _log(self, category: Category, scope: str, count: int,
+             mh_id: Optional[str] = None) -> None:
+        self.events.append(
+            TimelineEvent(
+                self._scheduler.now, category, scope, count, mh_id
+            )
+        )
+
+    # -- series --------------------------------------------------------
+
+    def cumulative_cost(
+        self,
+        model: CostModel,
+        scope: Optional[str] = None,
+    ) -> List[Tuple[float, float]]:
+        """(time, cumulative cost) after each recorded transmission."""
+        total = 0.0
+        points: List[Tuple[float, float]] = []
+        for event in self.events:
+            if scope is not None and event.scope != scope:
+                continue
+            total += self._price(event, model)
+            points.append((event.time, total))
+        return points
+
+    def bucketed_cost(
+        self,
+        model: CostModel,
+        bucket: float,
+        scope: Optional[str] = None,
+    ) -> List[Tuple[float, float]]:
+        """(bucket start time, cost inside bucket) series."""
+        if bucket <= 0:
+            raise ConfigurationError("bucket must be positive")
+        totals: Dict[int, float] = {}
+        for event in self.events:
+            if scope is not None and event.scope != scope:
+                continue
+            index = int(event.time // bucket)
+            totals[index] = totals.get(index, 0.0) + self._price(
+                event, model
+            )
+        return [
+            (index * bucket, totals[index]) for index in sorted(totals)
+        ]
+
+    def cost_between(
+        self,
+        model: CostModel,
+        start: float,
+        end: float,
+        scope: Optional[str] = None,
+    ) -> float:
+        """Total cost of traffic recorded in ``[start, end)``."""
+        if end < start:
+            raise ConfigurationError("end must be >= start")
+        times = [event.time for event in self.events]
+        lo = bisect_right(times, start - 1e-12)
+        hi = bisect_right(times, end - 1e-12)
+        total = 0.0
+        for event in self.events[lo:hi]:
+            if scope is None or event.scope == scope:
+                total += self._price(event, model)
+        return total
+
+    def scopes_over_time(self, bucket: float) -> Dict[str, List[int]]:
+        """Per-scope message counts per time bucket (ragged tails
+        padded with zeros)."""
+        if bucket <= 0:
+            raise ConfigurationError("bucket must be positive")
+        if not self.events:
+            return {}
+        buckets = int(self.events[-1].time // bucket) + 1
+        by_scope: Dict[str, List[int]] = {}
+        for event in self.events:
+            row = by_scope.setdefault(event.scope, [0] * buckets)
+            row[int(event.time // bucket)] += event.count
+        return by_scope
+
+    @staticmethod
+    def _price(event: TimelineEvent, model: CostModel) -> float:
+        prices = {
+            Category.FIXED: model.c_fixed,
+            Category.WIRELESS: model.c_wireless,
+            Category.SEARCH: model.c_search,
+            Category.SEARCH_PROBE: model.c_fixed,
+        }
+        return prices[event.category] * event.count

@@ -1,0 +1,39 @@
+"""Mobility and disconnection models (S7).
+
+Models drive MH movement over simulated time.  The system model only
+requires that a leaving MH eventually joins some cell; the models here
+shape *where* and *how often*, which controls the quantities the
+paper's evaluation varies: MOB (total moves), the mobility-to-message
+ratio, and the significant fraction ``f`` of moves that change a
+location view.
+
+* :class:`UniformMobility` -- exponential inter-move times, uniformly
+  random destination cell (high ``f``).
+* :class:`GraphMobility` -- moves along the edges of a cell adjacency
+  graph (e.g. a :func:`networkx.grid_2d_graph`), modelling geographic
+  movement.
+* :class:`LocalizedMobility` -- each MH mostly hops among a small set
+  of "home" cells, rarely escaping: clustered groups, low ``f``.
+* :class:`TraceMobility` -- replays an explicit (time, mh, cell) trace,
+  for fully deterministic experiments.
+* :class:`DisconnectionModel` -- random voluntary disconnect/reconnect
+  cycles (doze/disconnect experiments).
+"""
+
+from repro.mobility.models import (
+    DisconnectionModel,
+    GraphMobility,
+    LocalizedMobility,
+    MobilityModel,
+    TraceMobility,
+    UniformMobility,
+)
+
+__all__ = [
+    "DisconnectionModel",
+    "GraphMobility",
+    "LocalizedMobility",
+    "MobilityModel",
+    "TraceMobility",
+    "UniformMobility",
+]

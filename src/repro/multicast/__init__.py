@@ -1,0 +1,29 @@
+"""Exactly-once multicast to mobile hosts (the paper's reference [1]).
+
+Section 2 of the paper notes that "some algorithms for mobile hosts
+[1] may utilise a handoff procedure" -- [1] being Acharya & Badrinath,
+*Delivering multicast messages in networks with mobile hosts*
+(ICDCS 1993).  This package implements that companion system on top of
+the same substrate, following the paper's structuring principle:
+
+* a fixed *sequencer* MSS assigns a total order to multicast messages
+  and floods them to every MSS, which buffers them;
+* each MSS delivers buffered messages, in sequence, to the group
+  members in its cell, advancing a per-member ``last delivered``
+  counter on confirmed delivery;
+* when a member moves (or reconnects), its counter travels to the new
+  MSS through the standard handoff, and the new MSS *catches the member
+  up* from its own buffer -- so every message is delivered exactly once
+  no matter how often the member moves or disconnects;
+* acknowledgements flow back to the sequencer, which garbage-collects
+  buffer prefixes that every member has seen.
+
+All the mobility pain (moves mid-delivery, wireless frames lost to a
+departure, long disconnections) is absorbed by buffering + handoff; the
+sender-side protocol is mobility-oblivious, as the structuring
+principle prescribes.
+"""
+
+from repro.multicast.exactly_once import ExactlyOnceMulticast
+
+__all__ = ["ExactlyOnceMulticast"]

@@ -1,0 +1,42 @@
+"""Distributed mutual exclusion for mobile hosts (S9-S15).
+
+Four algorithm families from Section 3 of the paper:
+
+* :class:`L1Mutex` -- Lamport's timestamp algorithm executed directly by
+  the N mobile hosts (the paper's inefficient baseline).
+* :class:`L2Mutex` -- Lamport's algorithm executed by the M support
+  stations on behalf of requesting MHs (the paper's Algorithm L2).
+* :class:`R1Mutex` -- Le Lann's token ring formed by the N mobile hosts
+  (baseline).
+* :class:`R2Mutex` -- the token ring formed by the M support stations
+  with per-MSS request/grant queues (Algorithm R2), plus the ``R2'``
+  fairness counter and the ``R2''`` token-list variant.
+
+Both two-tier algorithms reuse the *same* static-substrate
+implementations (:mod:`repro.mutex.lamport_core`,
+:mod:`repro.mutex.ring_core`) as the baselines -- mirroring the paper's
+point that only the *placement* of the algorithm changes, not the
+algorithm itself.
+"""
+
+from repro.mutex.resource import AccessRecord, CriticalResource
+from repro.mutex.lamport_core import LamportMutexNode, MutexTransport
+from repro.mutex.ring_core import RingNode, Token
+from repro.mutex.l1 import L1Mutex
+from repro.mutex.l2 import L2Mutex
+from repro.mutex.r1 import R1Mutex
+from repro.mutex.r2 import R2Mutex, R2Variant
+
+__all__ = [
+    "AccessRecord",
+    "CriticalResource",
+    "L1Mutex",
+    "L2Mutex",
+    "LamportMutexNode",
+    "MutexTransport",
+    "R1Mutex",
+    "R2Mutex",
+    "R2Variant",
+    "RingNode",
+    "Token",
+]

@@ -1,0 +1,170 @@
+"""Algorithm L1: Lamport's mutual exclusion directly on mobile hosts.
+
+The paper's inefficient baseline (Section 3.1.1).  Every participant is
+a MH; every algorithm message is MH -> MH and therefore costs
+``2*C_wireless + C_search`` (uplink to the local MSS, search, downlink
+from the destination's MSS).  One execution exchanges ``3*(N-1)``
+messages, so its total cost is ``3*(N-1)*(2*C_wireless + C_search)`` and
+the energy drained from batteries is proportional to ``6*(N-1)``
+wireless transmissions/receptions.
+
+The implementation reuses the static Lamport substrate unchanged -- the
+only L1-specific code is the MH->MH transport and the critical-region
+glue, which is precisely the paper's framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.mutex.lamport_core import LamportMutexNode, MutexTransport
+from repro.mutex.resource import CriticalResource
+from repro.net.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.network import Network
+
+
+@dataclass(frozen=True)
+class RoutedPayload:
+    """MH -> MH payload relayed through the static network."""
+
+    dst_mh_id: str
+    kind: str
+    inner: object
+
+
+class _MobileTransport(MutexTransport):
+    """Transport between MHs: uplink to the local MSS, then search."""
+
+    def __init__(self, mutex: "L1Mutex", mh_id: str) -> None:
+        self._mutex = mutex
+        self._mh_id = mh_id
+
+    def peers(self) -> List[str]:
+        return [m for m in self._mutex.mh_ids if m != self._mh_id]
+
+    def send(self, dst: str, kind: str, payload: object) -> None:
+        mh = self._mutex.network.mobile_host(self._mh_id)
+        mh.send_to_mss(
+            self._mutex.kind_route,
+            RoutedPayload(dst, kind, payload),
+            self._mutex.scope,
+        )
+
+
+class L1Mutex:
+    """Lamport's algorithm run by the N mobile hosts themselves.
+
+    Args:
+        network: the simulated system.
+        mh_ids: the participating mobile hosts (all must be registered).
+        resource: the instrumented critical region.
+        cs_duration: how long a holder stays inside the region.
+        scope: metrics scope for all L1 traffic.
+        on_complete: optional callback ``(mh_id)`` fired when a MH has
+            released the region (one full execution finished).
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        mh_ids: List[str],
+        resource: CriticalResource,
+        cs_duration: float = 1.0,
+        scope: str = "L1",
+        on_complete: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if len(mh_ids) < 2:
+            raise ConfigurationError("L1 needs at least two participants")
+        self.network = network
+        self.mh_ids = list(mh_ids)
+        self.resource = resource
+        self.cs_duration = cs_duration
+        self.scope = scope
+        self.on_complete = on_complete
+        self.kind_route = f"{scope}.route"
+        self.completed: List[Tuple[float, str]] = []
+        self._nodes: Dict[str, LamportMutexNode] = {}
+        for mh_id in self.mh_ids:
+            self._attach_mh(mh_id)
+        for mss_id in network.mss_ids():
+            network.mss(mss_id).register_handler(
+                self.kind_route, self._relay
+            )
+
+    def _attach_mh(self, mh_id: str) -> None:
+        mh = self.network.mobile_host(mh_id)
+        node = LamportMutexNode(
+            node_id=mh_id,
+            transport=_MobileTransport(self, mh_id),
+            kind_prefix=self.scope,
+            on_granted=lambda tag, m=mh_id: self._enter_region(m),
+        )
+        self._nodes[mh_id] = node
+        mh.register_handler(
+            f"{self.scope}.request",
+            lambda msg, n=node: n.on_request(msg.payload),
+        )
+        mh.register_handler(
+            f"{self.scope}.reply",
+            lambda msg, n=node: n.on_reply(msg.payload),
+        )
+        mh.register_handler(
+            f"{self.scope}.release",
+            lambda msg, n=node: n.on_release(msg.payload),
+        )
+
+    # ------------------------------------------------------------------
+
+    def request(self, mh_id: str) -> None:
+        """Have ``mh_id`` request the critical region.
+
+        The MH must be connected: it is about to transmit N-1 request
+        messages over its wireless link.
+        """
+        if mh_id not in self._nodes:
+            raise ConfigurationError(f"{mh_id} is not an L1 participant")
+        self._nodes[mh_id].request(tag=mh_id)
+
+    def node(self, mh_id: str) -> LamportMutexNode:
+        """The Lamport node running at ``mh_id`` (for tests)."""
+        return self._nodes[mh_id]
+
+    # ------------------------------------------------------------------
+
+    def _relay(self, message: Message) -> None:
+        routed: RoutedPayload = message.payload
+        mss = self.network.mss(message.dst)
+        self.network.send_to_mh(
+            mss.host_id,
+            routed.dst_mh_id,
+            Message(
+                kind=routed.kind,
+                src=message.src,
+                dst=routed.dst_mh_id,
+                payload=routed.inner,
+                scope=self.scope,
+            ),
+        )
+
+    def _enter_region(self, mh_id: str) -> None:
+        self.resource.enter(mh_id, info={"algorithm": self.scope})
+        self.network.scheduler.schedule(
+            self.cs_duration, self._exit_region, mh_id
+        )
+
+    def _exit_region(self, mh_id: str) -> None:
+        self.resource.leave(mh_id)
+        mh = self.network.mobile_host(mh_id)
+        if not mh.is_connected:
+            # The holder left its cell before releasing: L1 simply has no
+            # provision for this -- the release stays unsent and the
+            # system blocks (the drawback Section 3.1.1 points out).
+            return
+        self._nodes[mh_id].release(tag=mh_id)
+        self.completed.append((self.network.scheduler.now, mh_id))
+        if self.on_complete is not None:
+            self.on_complete(mh_id)

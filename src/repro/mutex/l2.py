@@ -1,0 +1,291 @@
+"""Algorithm L2: Lamport's mutual exclusion at the support stations.
+
+The paper's first two-tier algorithm (Section 3.1.1).  The M MSSs run
+Lamport's algorithm *unmodified* among themselves; mobile hosts only
+
+* send ``init(h)`` to their local MSS to request the region (one
+  wireless message, timestamped on receipt at the MSS),
+* receive ``grant_request`` when their proxy has secured the region
+  (search + one wireless message, since the MH may have moved), and
+* send ``release_resource`` relayed via their *current* local MSS back
+  to the proxy (one wireless + at most one fixed message).
+
+Cost of one execution:
+``3*C_wireless + C_fixed + C_search + 3*(M-1)*C_fixed``
+-- constant in N, constant number (3) of wireless messages, no request
+queues at the MHs.
+
+Disconnection handling follows the paper exactly:
+
+* if the MH disconnects before the grant arrives, the search resolves to
+  the disconnected status, the proxy learns the MH is unreachable and
+  broadcasts a release so the other MSSs make progress;
+* if the MH disconnects after the grant but before releasing, it must
+  reconnect to send ``release_resource`` (the client flushes the owed
+  release automatically on reattachment);
+* disconnection at any other time does not affect L2 at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.clock import Timestamp
+from repro.errors import ConfigurationError, ProtocolError
+from repro.mutex.lamport_core import (
+    LamportMutexNode,
+    MutexTransport,
+)
+from repro.mutex.resource import CriticalResource
+from repro.net.messages import Message
+from repro.net.search import SearchOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.network import Network
+
+
+@dataclass(frozen=True)
+class InitPayload:
+    """MH -> local MSS: request the critical region."""
+
+    mh_id: str
+
+
+@dataclass(frozen=True)
+class GrantPayload:
+    """Proxy MSS -> MH: the region is yours."""
+
+    mh_id: str
+    proxy_mss_id: str
+    request_ts: Timestamp
+
+
+@dataclass(frozen=True)
+class ReleaseResourcePayload:
+    """MH -> (current MSS ->) proxy MSS: done with the region."""
+
+    mh_id: str
+    proxy_mss_id: str
+
+
+class _FixedTransport(MutexTransport):
+    """Transport between MSSs over the static network."""
+
+    def __init__(self, mutex: "L2Mutex", mss_id: str) -> None:
+        self._mutex = mutex
+        self._mss_id = mss_id
+
+    def peers(self) -> List[str]:
+        return [m for m in self._mutex.mss_ids if m != self._mss_id]
+
+    def send(self, dst: str, kind: str, payload: object) -> None:
+        self._mutex.network.mss(self._mss_id).send_fixed(
+            dst, kind, payload, self._mutex.scope
+        )
+
+
+class L2Mutex:
+    """Two-tier Lamport mutual exclusion (the paper's Algorithm L2).
+
+    Args:
+        network: the simulated system.
+        resource: the instrumented critical region.
+        cs_duration: how long a grantee stays inside the region.
+        scope: metrics scope for all L2 traffic.
+        on_complete: optional callback ``(mh_id)`` after a release.
+        on_aborted: optional callback ``(mh_id)`` when a request was
+            dropped because the MH disconnected before its grant.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        resource: CriticalResource,
+        cs_duration: float = 1.0,
+        scope: str = "L2",
+        on_complete: Optional[Callable[[str], None]] = None,
+        on_aborted: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.network = network
+        self.mss_ids = network.mss_ids()
+        if len(self.mss_ids) < 2:
+            raise ConfigurationError("L2 needs at least two MSSs")
+        self.resource = resource
+        self.cs_duration = cs_duration
+        self.scope = scope
+        self.on_complete = on_complete
+        self.on_aborted = on_aborted
+        self.completed: List[Tuple[float, str]] = []
+        self.aborted: List[Tuple[float, str]] = []
+        #: request timestamps in grant order, for fairness checks.
+        self.grant_log: List[Tuple[Timestamp, str]] = []
+        self._nodes: Dict[str, LamportMutexNode] = {}
+        self._request_ts: Dict[str, Dict[str, Timestamp]] = {}
+        for mss_id in self.mss_ids:
+            self._attach_mss(mss_id)
+        self._clients: Dict[str, bool] = {}
+        self._owed_release: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def _attach_mss(self, mss_id: str) -> None:
+        mss = self.network.mss(mss_id)
+        node = LamportMutexNode(
+            node_id=mss_id,
+            transport=_FixedTransport(self, mss_id),
+            kind_prefix=self.scope,
+            on_granted=lambda tag, m=mss_id: self._on_granted(m, tag),
+        )
+        self._nodes[mss_id] = node
+        self._request_ts[mss_id] = {}
+        mss.register_handler(
+            f"{self.scope}.request",
+            lambda msg, n=node: n.on_request(msg.payload),
+        )
+        mss.register_handler(
+            f"{self.scope}.reply",
+            lambda msg, n=node: n.on_reply(msg.payload),
+        )
+        mss.register_handler(
+            f"{self.scope}.release",
+            lambda msg, n=node: n.on_release(msg.payload),
+        )
+        mss.register_handler(f"{self.scope}.init", self._on_init)
+        mss.register_handler(
+            f"{self.scope}.release_resource", self._on_release_resource
+        )
+        mss.register_handler(
+            f"{self.scope}.release_fwd", self._on_release_fwd
+        )
+
+    def attach_client(self, mh_id: str) -> None:
+        """Enable ``mh_id`` to use L2 (registers the grant handler)."""
+        if mh_id in self._clients:
+            return
+        mh = self.network.mobile_host(mh_id)
+        mh.register_handler(f"{self.scope}.grant", self._on_grant)
+        mh.add_attach_listener(lambda m=mh_id: self._flush_owed(m))
+        self._clients[mh_id] = True
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+
+    def request(self, mh_id: str) -> None:
+        """Have ``mh_id`` initiate L2: send ``init`` to its local MSS."""
+        self.attach_client(mh_id)
+        mh = self.network.mobile_host(mh_id)
+        mh.send_to_mss(
+            f"{self.scope}.init", InitPayload(mh_id), self.scope
+        )
+
+    def node(self, mss_id: str) -> LamportMutexNode:
+        """The Lamport node running at ``mss_id`` (for tests)."""
+        return self._nodes[mss_id]
+
+    # ------------------------------------------------------------------
+    # MSS side
+    # ------------------------------------------------------------------
+
+    def _on_init(self, message: Message) -> None:
+        payload: InitPayload = message.payload
+        mss_id = message.dst
+        node = self._nodes[mss_id]
+        # The request is timestamped when init() reaches the local MSS.
+        ts = node.request(tag=payload.mh_id)
+        self._request_ts[mss_id][payload.mh_id] = ts
+
+    def _on_granted(self, mss_id: str, mh_id: str) -> None:
+        mss = self.network.mss(mss_id)
+        ts = self._request_ts[mss_id][mh_id]
+        mss.send_to_mh(
+            mh_id,
+            f"{self.scope}.grant",
+            GrantPayload(mh_id, mss_id, ts),
+            self.scope,
+            on_disconnected=lambda outcome, m=mss_id, h=mh_id: (
+                self._on_grantee_disconnected(m, h, outcome)
+            ),
+        )
+
+    def _on_grantee_disconnected(
+        self, mss_id: str, mh_id: str, outcome: SearchOutcome
+    ) -> None:
+        # The MH is unreachable: its request cannot be satisfied, so the
+        # proxy releases on its behalf to let the rest of the system
+        # make progress (Section 3.1.1).
+        self._request_ts[mss_id].pop(mh_id, None)
+        self._nodes[mss_id].abort(mh_id)
+        self.aborted.append((self.network.scheduler.now, mh_id))
+        if self.on_aborted is not None:
+            self.on_aborted(mh_id)
+
+    def _on_release_resource(self, message: Message) -> None:
+        payload: ReleaseResourcePayload = message.payload
+        current_mss_id = message.dst
+        if payload.proxy_mss_id == current_mss_id:
+            self._finish_release(current_mss_id, payload.mh_id)
+        else:
+            self.network.mss(current_mss_id).send_fixed(
+                payload.proxy_mss_id,
+                f"{self.scope}.release_fwd",
+                payload,
+                self.scope,
+            )
+
+    def _on_release_fwd(self, message: Message) -> None:
+        payload: ReleaseResourcePayload = message.payload
+        self._finish_release(message.dst, payload.mh_id)
+
+    def _finish_release(self, mss_id: str, mh_id: str) -> None:
+        self._request_ts[mss_id].pop(mh_id, None)
+        self._nodes[mss_id].release(tag=mh_id)
+        self.completed.append((self.network.scheduler.now, mh_id))
+        if self.on_complete is not None:
+            self.on_complete(mh_id)
+
+    # ------------------------------------------------------------------
+    # MH side
+    # ------------------------------------------------------------------
+
+    def _on_grant(self, message: Message) -> None:
+        grant: GrantPayload = message.payload
+        self.grant_log.append((grant.request_ts, grant.mh_id))
+        self.resource.enter(
+            grant.mh_id,
+            info={"algorithm": self.scope, "request_ts": grant.request_ts},
+        )
+        self.network.scheduler.schedule(
+            self.cs_duration, self._exit_region, grant
+        )
+
+    def _exit_region(self, grant: GrantPayload) -> None:
+        self.resource.leave(grant.mh_id)
+        mh = self.network.mobile_host(grant.mh_id)
+        if mh.is_connected:
+            self._send_release(grant.mh_id, grant.proxy_mss_id)
+        else:
+            # The paper requires a MH that disconnected after its grant
+            # to reconnect in order to send release_resource; remember
+            # the debt and flush it on reattachment.
+            if grant.mh_id in self._owed_release:
+                raise ProtocolError(
+                    f"{grant.mh_id} already owes a release"
+                )
+            self._owed_release[grant.mh_id] = grant.proxy_mss_id
+
+    def _flush_owed(self, mh_id: str) -> None:
+        proxy = self._owed_release.pop(mh_id, None)
+        if proxy is not None:
+            self._send_release(mh_id, proxy)
+
+    def _send_release(self, mh_id: str, proxy_mss_id: str) -> None:
+        mh = self.network.mobile_host(mh_id)
+        mh.send_to_mss(
+            f"{self.scope}.release_resource",
+            ReleaseResourcePayload(mh_id, proxy_mss_id),
+            self.scope,
+        )

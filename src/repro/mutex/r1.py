@@ -1,0 +1,283 @@
+"""Algorithm R1: the token ring formed by the mobile hosts themselves.
+
+The paper's second baseline (Section 3.1.2).  The N MHs are logically
+arranged in a unidirectional ring and the token visits every MH whether
+it wants the critical region or not.  Every hop is a MH -> MH message
+costing ``2*C_wireless + C_search``, so one full traversal costs
+``N * (2*C_wireless + C_search)`` -- *independent of K*, the number of
+requests actually satisfied.  Every MH pays battery for receiving and
+forwarding the token, and a dozing MH is interrupted on every traversal.
+
+R1 is vulnerable to disconnection of *any* member: if the token is
+addressed to a disconnected MH the ring stalls until the ring is
+re-formed (not modelled -- the stall itself is the measured drawback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.mutex.resource import CriticalResource
+from repro.mutex.ring_core import RingNode, Token
+from repro.net.messages import Message
+from repro.net.search import SearchOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.network import Network
+
+
+@dataclass(frozen=True)
+class RoutedToken:
+    """Token in flight between two MHs, relayed by the static network."""
+
+    dst_mh_id: str
+    token: Token
+
+
+class R1Mutex:
+    """Le Lann's token ring run directly by the N mobile hosts.
+
+    Args:
+        network: the simulated system.
+        mh_ids: ring members in ring order.
+        resource: the instrumented critical region.
+        cs_duration: how long a holder stays inside the region.
+        scope: metrics scope for all R1 traffic.
+        max_traversals: stop circulating after this many full
+            traversals (``None`` = circulate until externally stopped).
+        on_complete: optional callback ``(mh_id)`` after each access.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        mh_ids: List[str],
+        resource: CriticalResource,
+        cs_duration: float = 1.0,
+        scope: str = "R1",
+        max_traversals: Optional[int] = None,
+        on_complete: Optional[Callable[[str], None]] = None,
+        auto_repair: bool = False,
+    ) -> None:
+        if len(mh_ids) < 2:
+            raise ConfigurationError("R1 needs at least two ring members")
+        self.network = network
+        self.mh_ids = list(mh_ids)
+        self.resource = resource
+        self.cs_duration = cs_duration
+        self.scope = scope
+        self.max_traversals = max_traversals
+        self.on_complete = on_complete
+        #: extension: re-establish the ring among the remaining members
+        #: when the token hits a disconnected one (the paper notes R1
+        #: "requires the logical ring to be re-established" but defines
+        #: no protocol; we implement and charge one).
+        self.auto_repair = auto_repair
+        self.repairs = 0
+        self.kind_route = f"{scope}.route"
+        self.kind_reconfig = f"{scope}.reconfig"
+        self.completed: List[Tuple[float, str]] = []
+        self.finished = False
+        self.stalled_on: Optional[str] = None
+        self._wants: Dict[str, bool] = {m: False for m in self.mh_ids}
+        self._nodes: Dict[str, RingNode] = {}
+        for mh_id in self.mh_ids:
+            self._attach_mh(mh_id)
+        for mss_id in network.mss_ids():
+            network.mss(mss_id).register_handler(
+                self.kind_route, self._relay
+            )
+
+    def _attach_mh(self, mh_id: str) -> None:
+        mh = self.network.mobile_host(mh_id)
+        node = RingNode(
+            node_id=mh_id,
+            ring_order=self.mh_ids,
+            send=lambda dst, kind, token, m=mh_id: self._forward(
+                m, dst, token
+            ),
+            kind_prefix=self.scope,
+            on_token=lambda token, forward, m=mh_id: self._on_token(
+                m, token, forward
+            ),
+        )
+        self._nodes[mh_id] = node
+        mh.register_handler(
+            f"{self.scope}.token",
+            lambda msg, n=node: n.handle_token(msg.payload),
+        )
+        mh.register_handler(
+            f"{self.scope}.reconfig",
+            lambda msg, n=node: self._apply_reconfig(n, msg.payload),
+        )
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Inject the token at the first connected ring member."""
+        for mh_id in self.mh_ids:
+            if self.network.mobile_host(mh_id).is_connected:
+                self._nodes[mh_id].inject_token(Token())
+                return
+        raise ConfigurationError(
+            "no connected ring member can hold the initial token"
+        )
+
+    def want(self, mh_id: str) -> None:
+        """Mark that ``mh_id`` wants the region at its next token visit.
+
+        In Le Lann's scheme there are no request messages: a member
+        simply uses the token when it comes around.
+        """
+        if mh_id not in self._wants:
+            raise ConfigurationError(f"{mh_id} is not an R1 member")
+        self._wants[mh_id] = True
+
+    def node(self, mh_id: str) -> RingNode:
+        """The ring node at ``mh_id`` (for tests)."""
+        return self._nodes[mh_id]
+
+    # ------------------------------------------------------------------
+    # Token life cycle
+    # ------------------------------------------------------------------
+
+    def _on_token(
+        self, mh_id: str, token: Token, forward: Callable[[], None]
+    ) -> None:
+        if (
+            self.max_traversals is not None
+            and self._nodes[mh_id].is_head
+            and token.traversals >= self.max_traversals
+        ):
+            self.finished = True
+            return
+        if self._wants[mh_id]:
+            self._wants[mh_id] = False
+            self.resource.enter(mh_id, info={"algorithm": self.scope})
+            self.network.scheduler.schedule(
+                self.cs_duration, self._exit_region, mh_id, forward
+            )
+        else:
+            forward()
+
+    def _exit_region(self, mh_id: str, forward: Callable[[], None]) -> None:
+        self.resource.leave(mh_id)
+        self.completed.append((self.network.scheduler.now, mh_id))
+        if self.on_complete is not None:
+            self.on_complete(mh_id)
+        forward()
+
+    def _forward(self, src_mh_id: str, dst_mh_id: str, token: Token) -> None:
+        mh = self.network.mobile_host(src_mh_id)
+        if not mh.is_connected:
+            # The holder is mid-move; it can only transmit once it has
+            # joined a new cell.  Retry until reattached.
+            self.network.scheduler.schedule(
+                self.network.config.search_retry_delay,
+                self._forward,
+                src_mh_id,
+                dst_mh_id,
+                token,
+            )
+            return
+        mh.send_to_mss(
+            self.kind_route, RoutedToken(dst_mh_id, token), self.scope
+        )
+
+    def _relay(self, message: Message) -> None:
+        routed: RoutedToken = message.payload
+        mss = self.network.mss(message.dst)
+        self.network.send_to_mh(
+            mss.host_id,
+            routed.dst_mh_id,
+            Message(
+                kind=f"{self.scope}.token",
+                src=message.src,
+                dst=routed.dst_mh_id,
+                payload=routed.token,
+                scope=self.scope,
+            ),
+            on_disconnected=lambda outcome, m=mss.host_id,
+            s=message.src: self._stall(
+                m, routed.dst_mh_id, s, routed.token, outcome
+            ),
+        )
+
+    def _stall(self, detecting_mss_id: str, mh_id: str,
+               prev_mh_id: Optional[str], token: Token,
+               outcome: SearchOutcome) -> None:
+        if not self.auto_repair:
+            # Plain R1 has no provision for disconnected members: the
+            # token is undeliverable and mutual exclusion stops
+            # system-wide.
+            self.stalled_on = mh_id
+            return
+        self._repair(detecting_mss_id, mh_id, prev_mh_id, token)
+
+    # ------------------------------------------------------------------
+    # Ring re-establishment (extension)
+    # ------------------------------------------------------------------
+
+    def _repair(self, detecting_mss_id: str, dead_mh_id: str,
+                prev_mh_id: Optional[str], token: Token) -> None:
+        """Re-establish the ring without ``dead_mh_id`` and re-route
+        the token to its successor.
+
+        The MSS that detected the disconnection notifies every
+        surviving member of the new ring (each notification is a full
+        MSS -> MH delivery, so one repair costs on the order of
+        ``(N-1) * (C_search + C_wireless)`` -- the overhead R2 never
+        pays).
+        """
+        if dead_mh_id in self.mh_ids:
+            self.repairs += 1
+            index = self.mh_ids.index(dead_mh_id)
+            self.mh_ids.remove(dead_mh_id)
+            self._wants.pop(dead_mh_id, None)
+            self._nodes.pop(dead_mh_id, None)
+            new_ring = list(self.mh_ids)
+            for survivor in new_ring:
+                self.network.send_to_mh(
+                    detecting_mss_id,
+                    survivor,
+                    Message(
+                        kind=self.kind_reconfig,
+                        src=detecting_mss_id,
+                        dst=survivor,
+                        payload=new_ring,
+                        scope=self.scope,
+                    ),
+                )
+            successor = new_ring[index % len(new_ring)]
+        else:
+            # A member with a stale ring view forwarded to an already
+            # removed MH: route the token to the sender's current
+            # successor instead.
+            new_ring = list(self.mh_ids)
+            if prev_mh_id in new_ring:
+                index = (new_ring.index(prev_mh_id) + 1) % len(new_ring)
+                successor = new_ring[index]
+            else:
+                successor = new_ring[0]
+        # Hand the stranded token onward.
+        self.network.send_to_mh(
+            detecting_mss_id,
+            successor,
+            Message(
+                kind=f"{self.scope}.token",
+                src=detecting_mss_id,
+                dst=successor,
+                payload=token,
+                scope=self.scope,
+            ),
+            on_disconnected=lambda outcome, m=detecting_mss_id, s=successor: (
+                self._stall(m, s, None, token, outcome)
+            ),
+        )
+
+    def _apply_reconfig(self, node: RingNode, new_ring: List[str]) -> None:
+        node.ring_order = list(new_ring)

@@ -1,0 +1,364 @@
+"""Algorithm R2 and variants: the token ring over the support stations.
+
+Section 3.1.2 of the paper.  The token circulates among the M MSSs
+(``M * C_fixed`` per traversal).  A MH requests by one wireless message
+to its local MSS, which queues the request.  When the token arrives at a
+MSS, pending requests move to a *grant queue* and are serviced
+sequentially: the token is sent to the requesting MH (search + wireless,
+since it may have moved), used, and returned (wireless + fixed).  Each
+satisfied request therefore costs ``3*C_wireless + C_fixed + C_search``
+and K requests in one traversal cost
+``K*(3*C_wireless + C_fixed + C_search) + M*C_fixed``.
+
+Variants:
+
+* ``R2Variant.PLAIN`` -- a MH that moves ahead of the token can be
+  served once per MSS, up to ``N*M`` accesses per traversal.
+* ``R2Variant.COUNTER`` (the paper's R2') -- the token carries
+  ``token_val``, incremented per traversal; each MH submits its
+  ``access_count`` with its request and a request is granted only if
+  ``access_count < token_val``; on access the MH sets
+  ``access_count = token_val``.  At most one access per MH per
+  traversal, assuming MHs are honest.
+* ``R2Variant.TOKEN_LIST`` (the paper's "Variations" scheme, R2'') --
+  the token carries ``token_list`` of ``<MSS, MH>`` pairs; arriving at
+  MSS ``m``, pairs with first element ``m`` are deleted; a request from
+  ``h`` is granted only if ``h`` appears in no remaining pair; after
+  service ``<m, h>`` is appended.  Robust even against MHs that lie
+  about their ``access_count``.
+
+Disconnection: if the token reaches the cell where a requester
+disconnected, that MSS observes the disconnected flag and returns the
+token to the sender (one fixed message); service continues with the next
+grant-queue entry -- the rest of the system is unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.mutex.resource import CriticalResource
+from repro.mutex.ring_core import RingNode, Token
+from repro.net.messages import Message
+from repro.net.search import SearchOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.network import Network
+
+
+class R2Variant(Enum):
+    """Fairness variants of the two-tier ring."""
+
+    PLAIN = "R2"
+    COUNTER = "R2'"
+    TOKEN_LIST = "R2''"
+
+
+@dataclass(frozen=True)
+class RingRequestPayload:
+    """MH -> local MSS: request for the token."""
+
+    mh_id: str
+    access_count: int
+
+
+@dataclass(frozen=True)
+class RingGrantPayload:
+    """MSS -> MH: the token (its value) is yours; return when done."""
+
+    mh_id: str
+    grantor_mss_id: str
+    token_val: int
+
+
+@dataclass(frozen=True)
+class RingReturnPayload:
+    """MH -> (current MSS ->) grantor MSS: token handed back."""
+
+    mh_id: str
+    grantor_mss_id: str
+
+
+@dataclass
+class _PendingRequest:
+    mh_id: str
+    access_count: int
+
+
+class R2Mutex:
+    """Two-tier token-ring mutual exclusion (Algorithms R2/R2'/R2'').
+
+    Args:
+        network: the simulated system (the ring is all its MSSs, in
+            registration order).
+        resource: the instrumented critical region.
+        cs_duration: how long a grantee stays inside the region.
+        variant: which fairness variant to run.
+        scope: metrics scope for all traffic of this instance.
+        max_traversals: stop circulating after this many traversals.
+        on_complete: optional callback ``(mh_id)`` per satisfied access.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        resource: CriticalResource,
+        cs_duration: float = 1.0,
+        variant: R2Variant = R2Variant.PLAIN,
+        scope: str = "R2",
+        max_traversals: Optional[int] = None,
+        on_complete: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.network = network
+        self.mss_ids = network.mss_ids()
+        if len(self.mss_ids) < 2:
+            raise ConfigurationError("R2 needs at least two MSSs")
+        self.resource = resource
+        self.cs_duration = cs_duration
+        self.variant = variant
+        self.scope = scope
+        self.max_traversals = max_traversals
+        self.on_complete = on_complete
+        self.completed: List[Tuple[float, str]] = []
+        self.skipped_disconnected: List[str] = []
+        self.finished = False
+        self._nodes: Dict[str, RingNode] = {}
+        self._request_queues: Dict[str, List[_PendingRequest]] = {}
+        self._grant_queues: Dict[str, List[_PendingRequest]] = {}
+        self._forward_fns: Dict[str, Callable[[], None]] = {}
+        self._tokens: Dict[str, Token] = {}
+        #: per-MH access counter (the MH-side state of R2'); tests can
+        #: override entries to model malicious under-reporting.
+        self.access_counts: Dict[str, int] = {}
+        #: MHs that lie about their access count (always report 0).
+        self.malicious_mhs: set = set()
+        self._clients: Dict[str, bool] = {}
+        for mss_id in self.mss_ids:
+            self._attach_mss(mss_id)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def _attach_mss(self, mss_id: str) -> None:
+        mss = self.network.mss(mss_id)
+        node = RingNode(
+            node_id=mss_id,
+            ring_order=self.mss_ids,
+            send=lambda dst, kind, token, m=mss_id: self.network.mss(
+                m
+            ).send_fixed(dst, kind, token, self.scope),
+            kind_prefix=self.scope,
+            on_token=lambda token, forward, m=mss_id: self._on_token(
+                m, token, forward
+            ),
+        )
+        self._nodes[mss_id] = node
+        self._request_queues[mss_id] = []
+        self._grant_queues[mss_id] = []
+        mss.register_handler(
+            f"{self.scope}.token",
+            lambda msg, n=node: n.handle_token(msg.payload),
+        )
+        mss.register_handler(f"{self.scope}.request", self._on_request)
+        mss.register_handler(f"{self.scope}.return", self._on_return)
+        mss.register_handler(
+            f"{self.scope}.return_fwd", self._on_return_fwd
+        )
+
+    def attach_client(self, mh_id: str) -> None:
+        """Enable ``mh_id`` to use this ring (registers handlers)."""
+        if mh_id in self._clients:
+            return
+        mh = self.network.mobile_host(mh_id)
+        mh.register_handler(f"{self.scope}.grant", self._on_grant)
+        self.access_counts.setdefault(mh_id, 0)
+        self._clients[mh_id] = True
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Inject the token at the ring head MSS.
+
+        ``token_val`` starts at 1 so that fresh requests (access_count
+        0) are eligible during the very first traversal of R2'.
+        """
+        self._nodes[self.mss_ids[0]].inject_token(Token(token_val=1))
+
+    def request(self, mh_id: str) -> None:
+        """Have ``mh_id`` ask its local MSS for the token."""
+        self.attach_client(mh_id)
+        reported = (
+            0 if mh_id in self.malicious_mhs else self.access_counts[mh_id]
+        )
+        mh = self.network.mobile_host(mh_id)
+        mh.send_to_mss(
+            f"{self.scope}.request",
+            RingRequestPayload(mh_id, reported),
+            self.scope,
+        )
+
+    def node(self, mss_id: str) -> RingNode:
+        """The ring node at ``mss_id`` (for tests)."""
+        return self._nodes[mss_id]
+
+    def pending_requests(self, mss_id: str) -> int:
+        """Requests currently queued at ``mss_id`` (for tests)."""
+        return len(self._request_queues[mss_id])
+
+    # ------------------------------------------------------------------
+    # MSS side
+    # ------------------------------------------------------------------
+
+    def _on_request(self, message: Message) -> None:
+        payload: RingRequestPayload = message.payload
+        self._request_queues[message.dst].append(
+            _PendingRequest(payload.mh_id, payload.access_count)
+        )
+
+    def _on_token(
+        self, mss_id: str, token: Token, forward: Callable[[], None]
+    ) -> None:
+        if (
+            self.max_traversals is not None
+            and self._nodes[mss_id].is_head
+            and token.traversals >= self.max_traversals
+        ):
+            self.finished = True
+            return
+        if self.variant is R2Variant.TOKEN_LIST:
+            token.token_list = [
+                pair for pair in token.token_list if pair[0] != mss_id
+            ]
+        queue = self._request_queues[mss_id]
+        eligible: List[_PendingRequest] = []
+        deferred: List[_PendingRequest] = []
+        for request in queue:
+            if self._eligible(mss_id, request, token):
+                eligible.append(request)
+            else:
+                deferred.append(request)
+        self._request_queues[mss_id] = deferred
+        self._grant_queues[mss_id] = eligible
+        self._tokens[mss_id] = token
+        self._forward_fns[mss_id] = forward
+        self._service_next(mss_id)
+
+    def _eligible(
+        self, mss_id: str, request: _PendingRequest, token: Token
+    ) -> bool:
+        if self.variant is R2Variant.PLAIN:
+            return True
+        if self.variant is R2Variant.COUNTER:
+            return request.access_count < token.token_val
+        served = {mh for (_, mh) in token.token_list}
+        return request.mh_id not in served
+
+    def _service_next(self, mss_id: str) -> None:
+        grant_queue = self._grant_queues[mss_id]
+        token = self._tokens[mss_id]
+        if not grant_queue:
+            forward = self._forward_fns.pop(mss_id)
+            del self._tokens[mss_id]
+            forward()
+            return
+        request = grant_queue.pop(0)
+        self.network.mss(mss_id).send_to_mh(
+            request.mh_id,
+            f"{self.scope}.grant",
+            RingGrantPayload(request.mh_id, mss_id, token.token_val),
+            self.scope,
+            on_disconnected=lambda outcome, m=mss_id, r=request: (
+                self._on_requester_disconnected(m, r, outcome)
+            ),
+        )
+
+    def _on_requester_disconnected(
+        self, mss_id: str, request: _PendingRequest, outcome: SearchOutcome
+    ) -> None:
+        # The MSS of the cell where the requester disconnected returns
+        # the token to the sending MSS (one fixed message), and service
+        # continues with the next entry.
+        self.network.metrics.record_fixed(self.scope)
+        self.skipped_disconnected.append(request.mh_id)
+        self._service_next(mss_id)
+
+    def _on_return(self, message: Message) -> None:
+        payload: RingReturnPayload = message.payload
+        current_mss_id = message.dst
+        if payload.grantor_mss_id == current_mss_id:
+            self._finish_access(current_mss_id, payload.mh_id)
+        else:
+            self.network.mss(current_mss_id).send_fixed(
+                payload.grantor_mss_id,
+                f"{self.scope}.return_fwd",
+                payload,
+                self.scope,
+            )
+
+    def _on_return_fwd(self, message: Message) -> None:
+        payload: RingReturnPayload = message.payload
+        self._finish_access(message.dst, payload.mh_id)
+
+    def _finish_access(self, mss_id: str, mh_id: str) -> None:
+        if mss_id not in self._tokens:
+            raise ProtocolError(
+                f"{mss_id} received a token return while not holding it"
+            )
+        if self.variant is R2Variant.TOKEN_LIST:
+            self._tokens[mss_id].token_list.append((mss_id, mh_id))
+        self.completed.append((self.network.scheduler.now, mh_id))
+        if self.on_complete is not None:
+            self.on_complete(mh_id)
+        self._service_next(mss_id)
+
+    # ------------------------------------------------------------------
+    # MH side
+    # ------------------------------------------------------------------
+
+    def _on_grant(self, message: Message) -> None:
+        grant: RingGrantPayload = message.payload
+        # R2': on receiving the token the MH adopts the current
+        # token_val as its access_count.
+        self.access_counts[grant.mh_id] = grant.token_val
+        self.resource.enter(
+            grant.mh_id,
+            info={
+                "algorithm": self.scope,
+                "variant": self.variant.value,
+                "token_val": grant.token_val,
+            },
+        )
+        self.network.scheduler.schedule(
+            self.cs_duration, self._exit_region, grant
+        )
+
+    def _exit_region(self, grant: RingGrantPayload) -> None:
+        self.resource.leave(grant.mh_id)
+        mh = self.network.mobile_host(grant.mh_id)
+        if mh.is_connected:
+            self._send_return(grant)
+        else:
+            # Mid-move: the token must still go back; hand it over as
+            # soon as the MH reattaches (one-shot listener).
+            fired = [False]
+
+            def once(g=grant) -> None:
+                if not fired[0]:
+                    fired[0] = True
+                    self._send_return(g)
+
+            mh.add_attach_listener(once)
+
+    def _send_return(self, grant: RingGrantPayload) -> None:
+        mh = self.network.mobile_host(grant.mh_id)
+        mh.send_to_mss(
+            f"{self.scope}.return",
+            RingReturnPayload(grant.mh_id, grant.grantor_mss_id),
+            self.scope,
+        )

@@ -1,0 +1,47 @@
+"""Latency models for channels.
+
+A latency model is a callable taking the channel's RNG and returning a
+nonnegative delay.  FIFO ordering does not depend on the model: channels
+clamp each arrival to be no earlier than the previous one, so even a
+randomized model preserves sequenced delivery (the paper's "reliable,
+sequenced delivery ... with arbitrary message latency").
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+
+
+class ConstantLatency:
+    """Every message takes exactly ``value`` time units."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ConfigurationError(f"latency must be nonnegative: {value}")
+        self.value = value
+
+    def __call__(self, rng: random.Random) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.value})"
+
+
+class UniformLatency:
+    """Latency drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ConfigurationError(
+                f"invalid latency range: [{low}, {high}]"
+            )
+        self.low = low
+        self.high = high
+
+    def __call__(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"

@@ -1,0 +1,45 @@
+"""Message envelope shared by every protocol in the library.
+
+A :class:`Message` is a routing envelope; the protocol-specific content
+lives in ``payload`` (usually a small dataclass defined next to the
+protocol).  ``kind`` is the dispatch key: hosts register one handler per
+kind, namespaced by protocol (``"l2.request"``, ``"lv.update"``, ...).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_message_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """A routable message.
+
+    Attributes:
+        kind: dispatch key, namespaced by protocol (``"l2.reply"``).
+        src: id of the sending host.
+        dst: id of the destination host.
+        payload: protocol-specific content (any object).
+        scope: metrics scope the transmission is accounted under.
+        msg_id: unique id, handy in logs and tests.
+        wireless_seq: sequence number stamped by the wireless downlink
+            (MSS -> MH direction only); ``None`` elsewhere.
+    """
+
+    kind: str
+    src: str
+    dst: str
+    payload: Any = None
+    scope: str = "default"
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    wireless_seq: int | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Message(#{self.msg_id} {self.kind} {self.src}->{self.dst} "
+            f"scope={self.scope})"
+        )

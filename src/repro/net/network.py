@@ -1,0 +1,316 @@
+"""The network core: wired channels, wireless cells, MH delivery service.
+
+The :class:`Network` owns no protocol logic.  It transports
+:class:`~repro.net.messages.Message` envelopes between registered hosts,
+enforces the FIFO guarantees of the system model, accounts every
+transmission in the :class:`~repro.metrics.MetricsCollector`, and offers
+:meth:`Network.send_to_mh` -- the "locate then deliver, retrying across
+moves" service the paper's algorithms rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    NotConnectedError,
+    SimulationError,
+    UnknownHostError,
+)
+from repro.metrics import MetricsCollector
+from repro.net.config import NetworkConfig
+from repro.net.messages import Message
+from repro.net.search import AbstractSearch, SearchOutcome, SearchProtocol
+from repro.sim import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hosts.mh import MobileHost
+    from repro.hosts.mss import MobileSupportStation
+
+DeliveredCallback = Callable[[Message], None]
+DisconnectedCallback = Callable[[SearchOutcome], None]
+
+
+class Network:
+    """Transport fabric connecting MSSs and MHs.
+
+    Args:
+        scheduler: the shared discrete-event scheduler.
+        metrics: collector every transmission is recorded into.
+        config: timing knobs (latencies, transit and search delays).
+        search_protocol: how non-local MHs are located
+            (default: the paper's abstract scalar-cost search).
+        rng: source of randomness for latency models.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        metrics: Optional[MetricsCollector] = None,
+        config: Optional[NetworkConfig] = None,
+        search_protocol: Optional[SearchProtocol] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.config = config if config is not None else NetworkConfig()
+        self.search_protocol = (
+            search_protocol if search_protocol is not None else AbstractSearch()
+        )
+        self.rng = rng if rng is not None else random.Random(0)
+        self._mss: Dict[str, "MobileSupportStation"] = {}
+        self._mh: Dict[str, "MobileHost"] = {}
+        # FIFO enforcement: last scheduled arrival per directed channel.
+        self._last_arrival: Dict[Tuple[str, str], float] = {}
+        # Downlink sequence counters per (mss, mh), reset on each join.
+        self._downlink_seq: Dict[Tuple[str, str], int] = {}
+        self.lost_wireless_messages = 0
+
+    # ------------------------------------------------------------------
+    # Registration and lookup
+    # ------------------------------------------------------------------
+
+    def register_mss(self, mss: "MobileSupportStation") -> None:
+        """Add a mobile support station to the fixed network."""
+        if mss.host_id in self._mss:
+            raise SimulationError(f"duplicate MSS id: {mss.host_id}")
+        self._mss[mss.host_id] = mss
+
+    def register_mh(self, mh: "MobileHost") -> None:
+        """Add a mobile host to the system."""
+        if mh.host_id in self._mh:
+            raise SimulationError(f"duplicate MH id: {mh.host_id}")
+        if mh.host_id in self._mss:
+            raise SimulationError(
+                f"id {mh.host_id} already used by a MSS"
+            )
+        self._mh[mh.host_id] = mh
+
+    def mss(self, mss_id: str) -> "MobileSupportStation":
+        """Look up a MSS by id."""
+        try:
+            return self._mss[mss_id]
+        except KeyError:
+            raise UnknownHostError(f"unknown MSS: {mss_id}") from None
+
+    def mobile_host(self, mh_id: str) -> "MobileHost":
+        """Look up a MH by id."""
+        try:
+            return self._mh[mh_id]
+        except KeyError:
+            raise UnknownHostError(f"unknown MH: {mh_id}") from None
+
+    def mss_ids(self) -> List[str]:
+        """Ids of all registered MSSs, in registration order."""
+        return list(self._mss)
+
+    def mh_ids(self) -> List[str]:
+        """Ids of all registered MHs, in registration order."""
+        return list(self._mh)
+
+    def notify_mh_joined(self, mh_id: str, mss_id: str) -> None:
+        """Inform location-maintaining search protocols about a join."""
+        self.search_protocol.on_mh_joined(self, mh_id, mss_id)
+
+    # ------------------------------------------------------------------
+    # Fixed network (MSS <-> MSS): reliable, sequenced, arbitrary latency
+    # ------------------------------------------------------------------
+
+    def send_fixed(self, message: Message) -> None:
+        """Send ``message`` between two MSSs over the static network.
+
+        A message a MSS sends to itself is delivered locally after zero
+        delay and is not a network message (no cost recorded).
+        """
+        dst = self.mss(message.dst)
+        if message.src == message.dst:
+            self.scheduler.schedule(0.0, dst.handle_message, message)
+            return
+        self.mss(message.src)  # validate the source exists
+        self.metrics.record_fixed(message.scope)
+        arrival = self._fifo_arrival(
+            (message.src, message.dst),
+            self.config.fixed_latency(self.rng),
+        )
+        self.scheduler.schedule_at(arrival, dst.handle_message, message)
+
+    # ------------------------------------------------------------------
+    # Wireless cell (MSS <-> local MH): FIFO, prefix-loss on leave
+    # ------------------------------------------------------------------
+
+    def send_wireless_down(
+        self,
+        mss_id: str,
+        mh_id: str,
+        message: Message,
+        on_lost: Optional[Callable[[Message], None]] = None,
+        on_delivered: Optional[DeliveredCallback] = None,
+    ) -> None:
+        """Transmit ``message`` from ``mss_id`` to a MH in its cell.
+
+        The transmission is charged immediately (the MSS uses the
+        wireless medium either way); the MH's receive energy is charged
+        only on successful delivery.  If the MH leaves the cell (or
+        disconnects) before the message arrives, the message is lost and
+        ``on_lost`` fires -- callers needing eventual delivery use
+        :meth:`send_to_mh`, which retries with a fresh search.
+        """
+        mss = self.mss(mss_id)
+        mh = self.mobile_host(mh_id)
+        if mh_id not in mss.local_mhs:
+            raise NotConnectedError(
+                f"{mh_id} is not local to {mss_id}; use send_to_mh"
+            )
+        key = (mss_id, mh_id)
+        seq = self._downlink_seq.get(key, 0) + 1
+        self._downlink_seq[key] = seq
+        message.wireless_seq = seq
+        session = mh.session
+        self.metrics.record_wireless_rx(mh_id, message.scope)
+        arrival = self._fifo_arrival(
+            key, self.config.wireless_latency(self.rng)
+        )
+        self.scheduler.schedule_at(
+            arrival,
+            self._deliver_downlink,
+            mss_id,
+            mh,
+            message,
+            session,
+            on_lost,
+            on_delivered,
+        )
+
+    def _deliver_downlink(
+        self,
+        mss_id: str,
+        mh: "MobileHost",
+        message: Message,
+        session: int,
+        on_lost: Optional[Callable[[Message], None]],
+        on_delivered: Optional[DeliveredCallback],
+    ) -> None:
+        still_here = (
+            mh.is_connected
+            and mh.current_mss_id == mss_id
+            and mh.session == session
+        )
+        if not still_here:
+            self.lost_wireless_messages += 1
+            if on_lost is not None:
+                on_lost(message)
+            return
+        mh.note_downlink_delivery(message.wireless_seq)
+        mh.handle_message(message)
+        if on_delivered is not None:
+            on_delivered(message)
+
+    def send_wireless_up(self, mh_id: str, message: Message) -> None:
+        """Transmit ``message`` from a MH to its current local MSS.
+
+        The MH must be connected (the system model forbids sending after
+        ``leave``/``disconnect``).  Uplink delivery always succeeds: the
+        MSS is static.
+        """
+        mh = self.mobile_host(mh_id)
+        if not mh.is_connected:
+            raise NotConnectedError(
+                f"{mh_id} cannot transmit while {mh.state.value}"
+            )
+        mss = self.mss(mh.current_mss_id)
+        message.dst = mss.host_id
+        self.metrics.record_wireless_tx(mh_id, message.scope)
+        arrival = self._fifo_arrival(
+            (mh_id, mss.host_id), self.config.wireless_latency(self.rng)
+        )
+        self.scheduler.schedule_at(arrival, mss.handle_message, message)
+
+    # ------------------------------------------------------------------
+    # Reliable MH delivery: locate, forward, retry across moves
+    # ------------------------------------------------------------------
+
+    def send_to_mh(
+        self,
+        src_mss_id: str,
+        mh_id: str,
+        message: Message,
+        on_delivered: Optional[DeliveredCallback] = None,
+        on_disconnected: Optional[DisconnectedCallback] = None,
+    ) -> None:
+        """Deliver ``message`` to ``mh_id``, wherever it currently is.
+
+        Implements the model's eventual-delivery guarantee: if the MH is
+        local, one wireless hop suffices; otherwise a search locates its
+        current MSS and the message takes the final wireless hop from
+        there.  If the MH moves while the message is in flight, delivery
+        is retried with a fresh search.  If the MH has disconnected,
+        ``on_disconnected`` fires at the source with the outcome (the
+        notification from the disconnect-cell MSS), matching Section 2.
+        """
+        src = self.mss(src_mss_id)
+        if mh_id in src.local_mhs:
+            self.send_wireless_down(
+                src_mss_id,
+                mh_id,
+                message,
+                on_lost=lambda msg: self.send_to_mh(
+                    src_mss_id, mh_id, msg, on_delivered, on_disconnected
+                ),
+                on_delivered=on_delivered,
+            )
+            return
+
+        def on_outcome(outcome: SearchOutcome) -> None:
+            if outcome.disconnected:
+                # The MSS of the cell where the MH disconnected notifies
+                # the source of the disconnected status (Section 2).
+                # Measured search protocols already counted that reply
+                # among their probes; the abstract protocol charges one
+                # fixed message for it here.
+                if self.search_protocol.includes_forward:
+                    self.metrics.record_fixed(message.scope)
+                if on_disconnected is not None:
+                    on_disconnected(outcome)
+                return
+            if not self.search_protocol.includes_forward:
+                self.search_protocol.record_forward(self, message.scope)
+            dst_mss_id = outcome.mss_id
+            dst = self.mss(dst_mss_id)
+            if mh_id not in dst.local_mhs:
+                # The MH moved between search resolution and forward;
+                # retry from the located MSS with a fresh search.
+                self.scheduler.schedule(
+                    self.config.search_retry_delay,
+                    self.send_to_mh,
+                    dst_mss_id,
+                    mh_id,
+                    message,
+                    on_delivered,
+                    on_disconnected,
+                )
+                return
+            self.send_wireless_down(
+                dst_mss_id,
+                mh_id,
+                message,
+                on_lost=lambda msg: self.send_to_mh(
+                    dst_mss_id, mh_id, msg, on_delivered, on_disconnected
+                ),
+                on_delivered=on_delivered,
+            )
+
+        self.search_protocol.search(
+            self, src_mss_id, mh_id, message.scope, on_outcome
+        )
+
+    # ------------------------------------------------------------------
+
+    def _fifo_arrival(self, channel: Tuple[str, str], latency: float) -> float:
+        """Arrival time respecting per-channel FIFO ordering."""
+        arrival = max(
+            self.scheduler.now + latency,
+            self._last_arrival.get(channel, 0.0),
+        )
+        self._last_arrival[channel] = arrival
+        return arrival

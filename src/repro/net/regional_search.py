@@ -1,0 +1,191 @@
+"""Regional (two-level) search: the [3]-style search/inform compromise.
+
+The paper cites Awerbuch & Peleg ("Concurrent online tracking of mobile
+users") as the theoretical treatment of the search-vs-inform trade-off
+for individual mobile users.  This protocol is a practical two-level
+instance of that idea, sitting between the extremes already provided:
+
+* :class:`~repro.net.search.HomeAgentSearch` informs on *every* move
+  and searches in O(1);
+* :class:`~repro.net.search.BroadcastSearch` never informs and probes
+  all M-1 MSSs;
+* **RegionalSearch** partitions the M MSSs into regions of size R.
+  Each MH has a *home directory* (a fixed MSS) that records only which
+  region the MH is in -- updated only on the fraction of moves that
+  cross a region boundary.  A search asks the home directory (query +
+  reply), then probes the R MSSs of the recorded region in parallel
+  (plus the reply and the payload forward).
+
+Costs: maintenance ``~ f_region * MOB`` fixed messages (``f_region`` =
+fraction of region-crossing moves); search ``~ R + 4`` fixed messages.
+Tuning R trades one against the other -- at R=1 this degenerates to a
+per-cell home agent, at R=M to pure broadcast with a useless directory.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List
+
+from repro.errors import ConfigurationError, UnknownHostError
+from repro.net.search import MAINTENANCE_SCOPE, SearchOutcome, SearchProtocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.network import Network
+
+
+class RegionalSearch(SearchProtocol):
+    """Two-level search over a static partition of the MSSs."""
+
+    includes_forward = False
+
+    def __init__(self, region_size: int = 4) -> None:
+        if region_size < 1:
+            raise ConfigurationError("region_size must be >= 1")
+        self.region_size = region_size
+        #: home directory content: mh_id -> region index.
+        self._region_of_mh: Dict[str, int] = {}
+        #: home directory MSS per MH (assigned deterministically).
+        self._home: Dict[str, str] = {}
+        self.maintenance_updates = 0
+        self.region_crossings = 0
+        self.searches = 0
+
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+
+    def region_index(self, network: "Network", mss_id: str) -> int:
+        """Region of ``mss_id`` (consecutive blocks of ``region_size``)."""
+        mss_ids = network.mss_ids()
+        try:
+            position = mss_ids.index(mss_id)
+        except ValueError:
+            raise UnknownHostError(f"unknown MSS: {mss_id}") from None
+        return position // self.region_size
+
+    def region_members(
+        self, network: "Network", region: int
+    ) -> List[str]:
+        """The MSSs belonging to ``region``."""
+        mss_ids = network.mss_ids()
+        start = region * self.region_size
+        return mss_ids[start:start + self.region_size]
+
+    def home_of(self, network: "Network", mh_id: str) -> str:
+        """The MH's home-directory MSS (assigned deterministically)."""
+        if mh_id not in self._home:
+            mss_ids = sorted(network.mss_ids())
+            if not mss_ids:
+                raise UnknownHostError("no MSSs registered")
+            self._home[mh_id] = mss_ids[hash(mh_id) % len(mss_ids)]
+        return self._home[mh_id]
+
+    # ------------------------------------------------------------------
+    # Maintenance: inform only on region-crossing joins
+    # ------------------------------------------------------------------
+
+    def on_mh_joined(
+        self, network: "Network", mh_id: str, mss_id: str
+    ) -> None:
+        new_region = self.region_index(network, mss_id)
+        old_region = self._region_of_mh.get(mh_id)
+        if old_region == new_region:
+            return  # intra-region move: the directory stays correct
+        self._region_of_mh[mh_id] = new_region
+        if old_region is not None:
+            self.region_crossings += 1
+        home = self.home_of(network, mh_id)
+        if home != mss_id:
+            self.maintenance_updates += 1
+            network.metrics.record_fixed(MAINTENANCE_SCOPE)
+
+    # ------------------------------------------------------------------
+    # Search: home directory + regional probe
+    # ------------------------------------------------------------------
+
+    def record_forward(self, network: "Network", scope: str) -> None:
+        network.metrics.record_search_probe(scope, count=1)
+
+    def search(
+        self,
+        network: "Network",
+        src_mss_id: str,
+        mh_id: str,
+        scope: str,
+        callback: Callable[[SearchOutcome], None],
+    ) -> None:
+        self.searches += 1
+        # Query + reply to the home directory.
+        network.metrics.record_search_probe(scope, count=2)
+        round_trip = 2 * network.config.fixed_latency(network.rng)
+        network.scheduler.schedule(
+            round_trip, self._probe_region, network, mh_id, scope,
+            callback,
+        )
+
+    def _probe_region(
+        self,
+        network: "Network",
+        mh_id: str,
+        scope: str,
+        callback: Callable[[SearchOutcome], None],
+    ) -> None:
+        region = self._region_of_mh.get(mh_id)
+        if region is None:
+            # Nothing recorded yet (never moved since setup): the
+            # directory was primed at registration time, so this only
+            # happens for hosts the protocol has never seen; fall back
+            # to probing region 0 onwards via a full sweep.
+            members = network.mss_ids()
+        else:
+            members = self.region_members(network, region)
+        # Parallel probes within the region + one positive reply.
+        probes = len(members) + 1
+        network.metrics.record_search_probe(scope, count=probes)
+        round_trip = 2 * network.config.fixed_latency(network.rng)
+        network.scheduler.schedule(
+            round_trip,
+            self._complete,
+            network,
+            mh_id,
+            scope,
+            callback,
+            2 + probes,
+        )
+
+    def _complete(
+        self,
+        network: "Network",
+        mh_id: str,
+        scope: str,
+        callback: Callable[[SearchOutcome], None],
+        probes: int,
+    ) -> None:
+        mh = network.mobile_host(mh_id)
+        if mh.is_disconnected:
+            callback(
+                SearchOutcome(
+                    mh_id=mh_id,
+                    mss_id=mh.disconnect_mss_id,
+                    disconnected=True,
+                    probes=probes,
+                )
+            )
+        elif mh.is_connected:
+            callback(
+                SearchOutcome(
+                    mh_id=mh_id,
+                    mss_id=mh.current_mss_id,
+                    disconnected=False,
+                    probes=probes,
+                )
+            )
+        else:  # in transit: re-examine once it lands
+            network.scheduler.schedule(
+                network.config.search_retry_delay,
+                self._probe_region,
+                network,
+                mh_id,
+                scope,
+                callback,
+            )

@@ -1,0 +1,255 @@
+"""Adaptive proxy scope: the paper's "less static solutions".
+
+Section 5 closes with: a totally fixed association "is not always a
+desirable solution because a proxy has to be informed of every move
+... thus, we need to look for less static solutions in which the
+association between the MHs and proxies change, depending on the
+mobility of hosts."
+
+:class:`AdaptiveProxyPolicy` implements exactly that: each MH starts
+*fixed* (its home MSS tracks it), but the home proxy demotes a MH to
+*local* mode once it observes too many moves without any delivery
+(stop paying informs, pay a search per use instead), and promotes it
+back to fixed mode once deliveries dominate again (one catch-up inform
+refreshes the register).  The switch thresholds express the
+move-to-use ratio at which the E11 curves cross.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.proxy.policy import (
+    LocationRegister,
+    ProxyPolicy,
+    _proxy_message,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.proxy.manager import ProxyManager
+
+
+class AdaptiveProxyPolicy(ProxyPolicy):
+    """Per-MH switching between fixed and local proxy association.
+
+    Args:
+        demote_after_moves: consecutive moves without a delivery after
+            which a MH's tracking is dropped (fixed -> local).
+        promote_after_uses: consecutive deliveries without a move after
+            which tracking resumes (local -> fixed; costs one catch-up
+            inform).
+    """
+
+    def __init__(
+        self,
+        demote_after_moves: int = 3,
+        promote_after_uses: int = 3,
+    ) -> None:
+        if demote_after_moves < 1 or promote_after_uses < 1:
+            raise ConfigurationError("switch thresholds must be >= 1")
+        self.demote_after_moves = demote_after_moves
+        self.promote_after_uses = promote_after_uses
+        self.assignment: Dict[str, str] = {}
+        self.location_register = LocationRegister()
+        #: per-MH mode: True = fixed (tracked), False = local.
+        self.tracked: Dict[str, bool] = {}
+        self._moves_streak: Dict[str, int] = {}
+        self._uses_streak: Dict[str, int] = {}
+        self.inform_messages = 0
+        self.demotions = 0
+        self.promotions = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def wire(self, manager: "ProxyManager") -> None:
+        self._manager = manager
+        network = manager.network
+        for mh_id in manager.mh_ids:
+            mh = network.mobile_host(mh_id)
+            if mh.current_mss_id is None:
+                raise ConfigurationError(
+                    f"{mh_id} must be connected at setup"
+                )
+            self.assignment[mh_id] = mh.current_mss_id
+            self.location_register.update(
+                mh_id, mh.current_mss_id, mh.session
+            )
+            self.tracked[mh_id] = True
+            self._moves_streak[mh_id] = 0
+            self._uses_streak[mh_id] = 0
+        for mss_id in network.mss_ids():
+            network.mss(mss_id).add_join_listener(
+                lambda mh_id, prev, m=mss_id: self._on_join(m, mh_id)
+            )
+
+    # ------------------------------------------------------------------
+    # Scope
+    # ------------------------------------------------------------------
+
+    def proxy_of(self, mh_id: str) -> str:
+        if mh_id not in self.assignment:
+            raise ConfigurationError(f"{mh_id} has no assigned proxy")
+        if self.tracked[mh_id]:
+            return self.assignment[mh_id]
+        mh = self._manager.network.mobile_host(mh_id)
+        if mh.current_mss_id is not None:
+            return mh.current_mss_id
+        return self.assignment[mh_id]
+
+    def proxy_for_uplink(self, mh_id: str, receiving_mss_id: str) -> str:
+        if self.tracked.get(mh_id, False):
+            return self.assignment[mh_id]
+        return receiving_mss_id
+
+    # ------------------------------------------------------------------
+    # Mode switching
+    # ------------------------------------------------------------------
+
+    def _on_join(self, mss_id: str, mh_id: str) -> None:
+        if mh_id not in self.assignment:
+            return
+        self._moves_streak[mh_id] += 1
+        self._uses_streak[mh_id] = 0
+        if not self.tracked[mh_id]:
+            return  # untracked: moves are free
+        if self._moves_streak[mh_id] >= self.demote_after_moves:
+            # Too mobile to track: the home proxy gives up on this MH.
+            self.tracked[mh_id] = False
+            self.demotions += 1
+            return
+        manager = self._manager
+        proxy = self.assignment[mh_id]
+        session = manager.network.mobile_host(mh_id).session
+        if mss_id == proxy:
+            self.location_register.update(mh_id, mss_id, session)
+            return
+        self.inform_messages += 1
+        manager.network.mss(mss_id).send_fixed(
+            proxy, manager.kind_inform, (mh_id, mss_id, session),
+            manager.scope,
+        )
+
+    def on_inform(self, mh_id: str, mss_id: str, session: int) -> None:
+        """Proxy-side register update (invoked by the manager)."""
+        self.location_register.update(mh_id, mss_id, session)
+
+    def _note_use(self, mh_id: str, located_at: str) -> None:
+        self._uses_streak[mh_id] += 1
+        self._moves_streak[mh_id] = 0
+        if (
+            not self.tracked[mh_id]
+            and self._uses_streak[mh_id] >= self.promote_after_uses
+        ):
+            # Stable again: resume tracking with one catch-up inform.
+            self.tracked[mh_id] = True
+            self.promotions += 1
+            session = self._manager.network.mobile_host(mh_id).session
+            self.location_register.update(mh_id, located_at, session)
+            manager = self._manager
+            proxy = self.assignment[mh_id]
+            if located_at != proxy:
+                self.inform_messages += 1
+                manager.network.metrics.record_fixed(manager.scope)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+
+    def deliver(
+        self,
+        manager: "ProxyManager",
+        src_mss_id: str,
+        mh_id: str,
+        kind: str,
+        payload: object,
+        on_missed: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if self.tracked[mh_id]:
+            self._deliver_tracked(
+                manager, src_mss_id, mh_id, kind, payload, on_missed
+            )
+        else:
+            self._deliver_searched(
+                manager, src_mss_id, mh_id, kind, payload, on_missed
+            )
+
+    def _deliver_tracked(
+        self, manager, src_mss_id, mh_id, kind, payload, on_missed,
+        attempts: int = 0,
+    ) -> None:
+        network = manager.network
+        if attempts >= 4:
+            # The register keeps misleading us (informs still in
+            # flight, or the host bouncing between cells): give up on
+            # tracking for this delivery and search.
+            manager.stale_deliveries += 1
+            self._deliver_searched(
+                manager, src_mss_id, mh_id, kind, payload, on_missed
+            )
+            return
+
+        def retry() -> None:
+            network.scheduler.schedule(
+                network.config.search_retry_delay,
+                self._deliver_tracked,
+                manager,
+                src_mss_id,
+                mh_id,
+                kind,
+                payload,
+                on_missed,
+                attempts + 1,
+            )
+
+        def attempt(at_mss_id: str) -> None:
+            mss = network.mss(at_mss_id)
+            if mss.is_local(mh_id):
+                network.send_wireless_down(
+                    at_mss_id,
+                    mh_id,
+                    _proxy_message(
+                        kind, at_mss_id, mh_id, payload, manager.scope
+                    ),
+                    on_lost=lambda message: retry(),
+                    on_delivered=lambda message: self._note_use(
+                        mh_id, at_mss_id
+                    ),
+                )
+            elif mh_id in mss.disconnected_mhs:
+                if on_missed is not None:
+                    on_missed(mh_id)
+            else:
+                manager.stale_deliveries += 1
+                retry()
+
+        believed = self.location_register.get(mh_id, src_mss_id)
+        if believed == src_mss_id:
+            attempt(src_mss_id)
+        else:
+            network.metrics.record_fixed(manager.scope)
+            network.scheduler.schedule(
+                network.config.fixed_latency(network.rng),
+                attempt,
+                believed,
+            )
+
+    def _deliver_searched(
+        self, manager, src_mss_id, mh_id, kind, payload, on_missed
+    ) -> None:
+        network = manager.network
+        network.send_to_mh(
+            src_mss_id,
+            mh_id,
+            _proxy_message(kind, src_mss_id, mh_id, payload,
+                           manager.scope),
+            on_delivered=lambda message: self._note_use(
+                mh_id,
+                network.mobile_host(mh_id).current_mss_id or src_mss_id,
+            ),
+            on_disconnected=(
+                (lambda outcome: on_missed(mh_id)) if on_missed else None
+            ),
+        )

@@ -1,0 +1,13 @@
+"""Deterministic discrete-event simulation kernel (substrate S1).
+
+The kernel is intentionally small: a binary-heap scheduler with a
+monotonically increasing tie-breaking sequence number, cancellable event
+handles, and a tiny process helper for periodic activities.  Everything
+else in the library (channels, hosts, mobility, algorithms) is built on
+top of :class:`Scheduler`.
+"""
+
+from repro.sim.scheduler import Event, Scheduler
+from repro.sim.process import PeriodicProcess, PoissonProcess
+
+__all__ = ["Event", "Scheduler", "PeriodicProcess", "PoissonProcess"]

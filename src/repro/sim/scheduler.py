@@ -1,0 +1,166 @@
+"""Discrete-event scheduler.
+
+The scheduler is the single source of simulated time.  Events are
+callbacks scheduled at absolute times; ties are broken by insertion
+order, which makes every run fully deterministic for a fixed seed and
+call sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Scheduler.schedule_at` /
+    :meth:`Scheduler.schedule` and may be cancelled before they fire.
+    """
+
+    __slots__ = ("time", "seq", "action", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.4f}, seq={self.seq}, {state})"
+
+
+class Scheduler:
+    """Binary-heap discrete-event scheduler.
+
+    Guarantees:
+
+    * events fire in nondecreasing time order;
+    * events scheduled at the same time fire in the order they were
+      scheduled (FIFO tie-break via a sequence counter);
+    * :attr:`now` never moves backwards.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self.now: float = 0.0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired so far."""
+        return self._events_processed
+
+    @property
+    def pending_count(self) -> int:
+        """Number of scheduled, not-yet-fired, not-cancelled events."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def schedule_at(
+        self, time: float, action: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Schedule ``action(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise ConfigurationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        event = Event(time, self._seq, action, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule(
+        self, delay: float, action: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Schedule ``action(*args)`` after a nonnegative ``delay``."""
+        if delay < 0:
+            raise ConfigurationError(f"negative delay: {delay}")
+        return self.schedule_at(self.now + delay, action, *args)
+
+    def step(self) -> bool:
+        """Fire the next pending event.
+
+        Returns ``True`` if an event fired, ``False`` if the queue was
+        empty (cancelled events are skipped silently).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self.now:  # pragma: no cover - defensive
+                raise SimulationError("event time moved backwards")
+            self.now = event.time
+            self._events_processed += 1
+            event.action(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired in this call.
+
+        Returns the number of events fired by this call.  When ``until``
+        is given, :attr:`now` is advanced to ``until`` even if the queue
+        drained earlier, so repeated ``run(until=...)`` calls observe a
+        continuous clock.
+        """
+        if self._running:
+            raise SimulationError("scheduler is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                if max_events is not None and fired >= max_events:
+                    return fired
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if self.step():
+                    fired += 1
+            if until is not None and until > self.now:
+                self.now = until
+            return fired
+        finally:
+            self._running = False
+
+    def drain(self, max_events: int = 1_000_000) -> int:
+        """Run until the event queue is empty (bounded by ``max_events``).
+
+        Raises :class:`SimulationError` if the bound is hit, which almost
+        always indicates a livelock (e.g. two hosts bouncing a message).
+        """
+        fired = self.run(max_events=max_events)
+        if self._heap and any(not ev.cancelled for ev in self._heap):
+            raise SimulationError(
+                f"drain() exceeded {max_events} events; likely livelock"
+            )
+        return fired

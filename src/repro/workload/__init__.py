@@ -1,0 +1,16 @@
+"""Workload generators (S21).
+
+Drivers that exercise the algorithms over time:
+
+* :class:`MutexWorkload` -- per-MH Poisson request arrivals against any
+  mutual exclusion object exposing ``request(mh_id)``; tracks issued
+  and completed requests and never leaves more than one request per MH
+  outstanding.
+* :class:`GroupMessagingWorkload` -- Poisson group-message traffic from
+  random members; combined with a mobility model it dials in the
+  paper's mobility-to-message ratio MOB/MSG.
+"""
+
+from repro.workload.generators import GroupMessagingWorkload, MutexWorkload
+
+__all__ = ["GroupMessagingWorkload", "MutexWorkload"]

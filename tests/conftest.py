@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CostModel, CriticalResource, NetworkConfig, Simulation
+from repro.net import ConstantLatency
+
+
+def make_sim(
+    n_mss: int = 4,
+    n_mh: int = 8,
+    seed: int = 1,
+    placement: str = "round_robin",
+    search: str = "abstract",
+    fixed_latency: float = 1.0,
+    wireless_latency: float = 0.5,
+    **config_kwargs,
+) -> Simulation:
+    """A small deterministic simulation with constant latencies."""
+    config = NetworkConfig(
+        fixed_latency=ConstantLatency(fixed_latency),
+        wireless_latency=ConstantLatency(wireless_latency),
+        **config_kwargs,
+    )
+    return Simulation(
+        n_mss=n_mss,
+        n_mh=n_mh,
+        seed=seed,
+        config=config,
+        search=search,
+        placement=placement,
+    )
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    return make_sim()
+
+
+@pytest.fixture
+def resource(sim) -> CriticalResource:
+    return CriticalResource(sim.scheduler)
+
+
+@pytest.fixture
+def costs() -> CostModel:
+    return CostModel(c_fixed=1.0, c_wireless=5.0, c_search=10.0)

@@ -1,0 +1,131 @@
+"""Tests for the adaptive proxy policy (Section 5's future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Category
+from repro.errors import ConfigurationError
+from repro.proxy import AdaptiveProxyPolicy, ProxiedMessenger, ProxyManager
+
+from conftest import make_sim
+
+
+def build(demote=2, promote=2, n_mss=6, n_mh=4):
+    sim = make_sim(n_mss=n_mss, n_mh=n_mh)
+    policy = AdaptiveProxyPolicy(
+        demote_after_moves=demote, promote_after_uses=promote
+    )
+    manager = ProxyManager(sim.network, policy, sim.mh_ids)
+    messenger = ProxiedMessenger(manager)
+    return sim, policy, manager, messenger
+
+
+def test_starts_tracked_at_home_mss():
+    sim, policy, manager, messenger = build()
+    for i in range(4):
+        assert policy.tracked[f"mh-{i}"]
+        assert policy.proxy_of(f"mh-{i}") == f"mss-{i}"
+
+
+def test_tracked_moves_generate_informs():
+    sim, policy, manager, messenger = build(demote=5)
+    sim.mh(1).move_to("mss-4")
+    sim.drain()
+    assert policy.inform_messages == 1
+    assert policy.location_register["mh-1"] == "mss-4"
+
+
+def test_frequent_mover_is_demoted_to_local():
+    sim, policy, manager, messenger = build(demote=2)
+    sim.mh(1).move_to("mss-4")
+    sim.drain()
+    assert policy.tracked["mh-1"]
+    sim.mh(1).move_to("mss-5")
+    sim.drain()
+    assert not policy.tracked["mh-1"]
+    assert policy.demotions == 1
+    # Further moves cost no informs.
+    informs = policy.inform_messages
+    sim.mh(1).move_to("mss-2")
+    sim.drain()
+    assert policy.inform_messages == informs
+
+
+def test_demoted_mh_is_still_reachable_via_search():
+    sim, policy, manager, messenger = build(demote=1)
+    sim.mh(1).move_to("mss-4")
+    sim.drain()
+    assert not policy.tracked["mh-1"]
+    before = sim.metrics.snapshot()
+    messenger.send("mh-0", "mh-1", "find-me")
+    sim.drain()
+    delta = sim.metrics.since(before)
+    assert messenger.deliveries_of("find-me") == ["mh-1"]
+    assert delta.total(Category.SEARCH, "proxy") == 1
+
+
+def test_stable_mh_is_promoted_back_to_tracked():
+    sim, policy, manager, messenger = build(demote=1, promote=2)
+    sim.mh(1).move_to("mss-4")
+    sim.drain()
+    assert not policy.tracked["mh-1"]
+    messenger.send("mh-0", "mh-1", "one")
+    sim.drain()
+    assert not policy.tracked["mh-1"]
+    messenger.send("mh-0", "mh-1", "two")
+    sim.drain()
+    assert policy.tracked["mh-1"]
+    assert policy.promotions == 1
+    assert policy.location_register["mh-1"] == "mss-4"
+    # Tracked again: the next delivery needs no search.
+    before = sim.metrics.snapshot()
+    messenger.send("mh-0", "mh-1", "three")
+    sim.drain()
+    delta = sim.metrics.since(before)
+    assert delta.total(Category.SEARCH, "proxy") == 0
+    assert messenger.deliveries_of("three") == ["mh-1"]
+
+
+def test_move_resets_use_streak():
+    sim, policy, manager, messenger = build(demote=1, promote=3)
+    sim.mh(1).move_to("mss-4")
+    sim.drain()
+    messenger.send("mh-0", "mh-1", "a")
+    sim.drain()
+    messenger.send("mh-0", "mh-1", "b")
+    sim.drain()
+    sim.mh(1).move_to("mss-5")  # breaks the streak
+    sim.drain()
+    messenger.send("mh-0", "mh-1", "c")
+    sim.drain()
+    assert not policy.tracked["mh-1"]
+
+
+def test_uplink_routing_follows_mode():
+    sim, policy, manager, messenger = build(demote=1)
+    # Tracked: uplink from a remote cell relays to the home proxy.
+    assert policy.proxy_for_uplink("mh-0", "mss-3") == "mss-0"
+    sim.mh(0).move_to("mss-3")
+    sim.drain()
+    # Demoted after one move: the receiving MSS is the proxy.
+    assert policy.proxy_for_uplink("mh-0", "mss-3") == "mss-3"
+
+
+def test_invalid_thresholds_rejected():
+    with pytest.raises(ConfigurationError):
+        AdaptiveProxyPolicy(demote_after_moves=0)
+    with pytest.raises(ConfigurationError):
+        AdaptiveProxyPolicy(promote_after_uses=0)
+
+
+def test_messenger_works_across_mixed_modes():
+    sim, policy, manager, messenger = build(demote=1)
+    # Demote mh-2; keep mh-3 tracked.
+    sim.mh(2).move_to("mss-5")
+    sim.drain()
+    messenger.send("mh-3", "mh-2", "to-local")
+    messenger.send("mh-2", "mh-3", "to-tracked")
+    sim.drain()
+    assert messenger.deliveries_of("to-local") == ["mh-2"]
+    assert messenger.deliveries_of("to-tracked") == ["mh-3"]

@@ -1,0 +1,115 @@
+"""Tests for the caching search protocol (extension of [10]'s idea)."""
+
+from __future__ import annotations
+
+from repro import Category
+from repro.net.cache_search import CachingSearch
+from repro.net.messages import Message
+
+from conftest import make_sim
+
+
+def send(sim, dst_mh, payload=None, on_disconnected=None):
+    sim.network.send_to_mh(
+        "mss-0", dst_mh,
+        Message(kind="cs.msg", src="mss-0", dst=dst_mh,
+                payload=payload, scope="cs"),
+        on_disconnected=on_disconnected,
+    )
+
+
+def build(n_mss=6):
+    sim = make_sim(n_mss=n_mss, n_mh=3, search="caching")
+    for i in range(3):
+        sim.mh(i).register_handler("cs.msg", lambda m: None)
+    protocol: CachingSearch = sim.network.search_protocol
+    return sim, protocol
+
+
+def test_first_search_is_broadcast():
+    sim, protocol = build()
+    send(sim, "mh-1")
+    sim.drain()
+    # M-1 queries + reply + forward.
+    assert sim.metrics.total(Category.SEARCH_PROBE, "cs") == 5 + 1 + 1
+    assert protocol.hits == 0
+    assert protocol.misses == 0
+
+
+def test_second_search_hits_cache():
+    sim, protocol = build()
+    send(sim, "mh-1")
+    sim.drain()
+    before = sim.metrics.total(Category.SEARCH_PROBE, "cs")
+    send(sim, "mh-1")
+    sim.drain()
+    # Cache hit: query + reply + forward = 3 probes only.
+    assert sim.metrics.total(Category.SEARCH_PROBE, "cs") - before == 3
+    assert protocol.hits == 1
+
+
+def test_stale_cache_falls_back_to_broadcast():
+    sim, protocol = build()
+    send(sim, "mh-1")
+    sim.drain()
+    sim.mh(1).move_to("mss-4")
+    sim.drain()
+    before = sim.metrics.total(Category.SEARCH_PROBE, "cs")
+    send(sim, "mh-1")
+    sim.drain()
+    # Stale probe pair + broadcast sweep + forward.
+    assert sim.metrics.total(Category.SEARCH_PROBE, "cs") - before == \
+        2 + (5 + 1) + 1
+    assert protocol.misses == 1
+    # And the cache is refreshed: next search hits.
+    before_hits = protocol.hits
+    send(sim, "mh-1")
+    sim.drain()
+    assert protocol.hits == before_hits + 1
+
+
+def test_moves_generate_no_maintenance_traffic():
+    sim, protocol = build()
+    before = sim.metrics.total(Category.FIXED, "search-maintenance")
+    sim.mh(1).move_to("mss-3")
+    sim.drain()
+    assert sim.metrics.total(
+        Category.FIXED, "search-maintenance"
+    ) == before
+
+
+def test_disconnected_mh_resolves_to_status():
+    sim, protocol = build()
+    outcomes = []
+    sim.mh(1).disconnect()
+    sim.drain()
+    send(sim, "mh-1", on_disconnected=outcomes.append)
+    sim.drain()
+    assert len(outcomes) == 1
+    assert outcomes[0].disconnected
+    assert outcomes[0].mss_id == "mss-1"
+
+
+def test_search_waits_for_mh_in_transit():
+    sim, protocol = build()
+    sim.mh(1).move_to("mss-5")
+    send(sim, "mh-1")
+    sim.drain()
+    assert sim.mh(1).current_mss_id == "mss-5"
+    # The delivery landed despite starting mid-move.
+    assert sim.metrics.total(Category.WIRELESS, "cs") == 1
+
+
+def test_caches_are_per_searching_mss():
+    sim, protocol = build()
+    send(sim, "mh-1")
+    sim.drain()
+    # A different MSS searching the same MH has no cache entry.
+    sim.mh(2).register_handler("cs.other", lambda m: None)
+    sim.network.send_to_mh(
+        "mss-3", "mh-1",
+        Message(kind="cs.msg", src="mss-3", dst="mh-1", scope="cs2"),
+    )
+    sim.drain()
+    # Full broadcast for the new searcher.
+    assert sim.metrics.total(Category.SEARCH_PROBE, "cs2") == 5 + 1 + 1

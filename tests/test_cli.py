@@ -1,0 +1,183 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    lines = []
+    code = main(argv, emit=lines.append)
+    return code, "\n".join(lines)
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+class TestMutexCommand:
+    def test_l2_default_run(self):
+        code, out = run_cli([
+            "mutex", "--algorithm", "L2", "--duration", "200",
+            "--seed", "3",
+        ])
+        assert code == 0
+        assert "safety         : verified" in out
+        assert "region accesses" in out
+
+    def test_l1_baseline(self):
+        code, out = run_cli([
+            "mutex", "--algorithm", "L1", "--n-mss", "4", "--n-mh", "4",
+            "--duration", "100",
+        ])
+        assert code == 0
+        assert "baseline" in out
+
+    def test_r1_baseline(self):
+        code, out = run_cli([
+            "mutex", "--algorithm", "R1", "--n-mss", "4", "--n-mh", "4",
+            "--duration", "200",
+        ])
+        assert code == 0
+        assert "region accesses" in out
+
+    def test_r2_variants(self):
+        for name in ("R2", "R2'", "R2''"):
+            code, out = run_cli([
+                "mutex", "--algorithm", name, "--duration", "200",
+                "--request-rate", "0.02", "--seed", "5",
+            ])
+            assert code == 0
+            assert "safety         : verified" in out
+
+    def test_with_mobility_and_broadcast_search(self):
+        code, out = run_cli([
+            "mutex", "--algorithm", "L2", "--duration", "200",
+            "--move-rate", "0.02", "--search", "broadcast",
+        ])
+        assert code == 0
+        assert "search_probe" in out
+
+    def test_deterministic_for_seed(self):
+        run = lambda: run_cli([
+            "mutex", "--algorithm", "L2", "--duration", "150",
+            "--seed", "9", "--move-rate", "0.01",
+        ])
+        assert run() == run()
+
+
+class TestGroupsCommand:
+    @pytest.mark.parametrize("strategy", [
+        "pure_search", "always_inform", "location_view",
+    ])
+    def test_each_strategy_runs(self, strategy):
+        code, out = run_cli([
+            "groups", "--strategy", strategy, "--duration", "300",
+            "--move-rate", "0.01", "--group-size", "5",
+        ])
+        assert code == 0
+        assert "effective cost" in out
+        assert "MOB/MSG" in out
+
+    def test_location_view_reports_view_stats(self):
+        code, out = run_cli([
+            "groups", "--strategy", "location_view", "--duration", "300",
+        ])
+        assert "significant f" in out
+        assert "|LV| now/max" in out
+
+    def test_group_size_validated(self):
+        with pytest.raises(SystemExit):
+            run_cli([
+                "groups", "--group-size", "20", "--n-mh", "5",
+            ])
+
+
+class TestProxyCommand:
+    @pytest.mark.parametrize("policy", ["fixed", "local", "adaptive"])
+    def test_each_policy_runs(self, policy):
+        code, out = run_cli([
+            "proxy", "--policy", policy, "--duration", "300",
+            "--move-rate", "0.02",
+        ])
+        assert code == 0
+        assert "letters" in out
+        assert "delivered" in out
+
+    def test_all_letters_delivered(self):
+        code, out = run_cli([
+            "proxy", "--policy", "fixed", "--duration", "400",
+            "--move-rate", "0.05", "--seed", "2",
+        ])
+        line = next(l for l in out.splitlines() if "letters" in l)
+        sent = int(line.split("sent=")[1].split()[0])
+        delivered = int(line.split("delivered=")[1].split()[0])
+        assert sent == delivered
+
+
+def test_cost_model_flags_affect_report():
+    _, cheap = run_cli([
+        "mutex", "--algorithm", "L2", "--duration", "100", "--seed", "1",
+        "--c-wireless", "1", "--c-search", "1",
+    ])
+    _, costly = run_cli([
+        "mutex", "--algorithm", "L2", "--duration", "100", "--seed", "1",
+        "--c-wireless", "50", "--c-search", "100",
+    ])
+    def total(out):
+        line = next(l for l in out.splitlines() if "total cost" in l)
+        return float(line.split(":")[1])
+    assert total(costly) > total(cheap)
+
+
+class TestMulticastCommand:
+    def test_exactly_once_under_mobility(self):
+        code, out = run_cli([
+            "multicast", "--duration", "300", "--move-rate", "0.02",
+            "--seed", "4",
+        ])
+        assert code == 0
+        assert "exactly once   : True" in out
+
+    def test_gc_flag(self):
+        code, out = run_cli([
+            "multicast", "--duration", "200", "--no-gc",
+        ])
+        assert code == 0
+        assert "GC disabled" in out
+
+    def test_group_size_validated(self):
+        with pytest.raises(SystemExit):
+            run_cli(["multicast", "--group-size", "99"])
+
+
+class TestCompareCommand:
+    def test_all_comparisons_match(self):
+        code, out = run_cli(["compare"])
+        assert code == 0
+        assert "MISMATCH" not in out
+        assert "all comparisons matched" in out
+
+    @pytest.mark.parametrize("experiment", ["lamport", "ring", "groups"])
+    def test_single_experiment(self, experiment):
+        code, out = run_cli(["compare", "--experiment", experiment])
+        assert code == 0
+        assert "OK" in out
+
+    def test_custom_cost_model(self):
+        code, out = run_cli([
+            "compare", "--c-fixed", "2", "--c-wireless", "7",
+            "--c-search", "20",
+        ])
+        assert code == 0
+        assert "all comparisons matched" in out
+
+    def test_custom_sizes(self):
+        code, out = run_cli([
+            "compare", "--n-mss", "10", "--n-mh", "20",
+        ])
+        assert code == 0
+        assert "N=20" in out and "M=10" in out

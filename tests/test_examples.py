@@ -1,0 +1,60 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Each example is executed in-process (``runpy``) with stdout captured;
+the examples contain their own assertions (safety checks, exactly-once
+verification), so a clean exit is a meaningful signal.
+"""
+
+from __future__ import annotations
+
+import io
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> str:
+    captured = io.StringIO()
+    original = sys.stdout
+    sys.stdout = captured
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    finally:
+        sys.stdout = original
+    return captured.getvalue()
+
+
+def test_all_examples_discovered():
+    assert len(EXAMPLES) >= 7
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    output = run_example(name)
+    assert output.strip(), f"{name} produced no output"
+
+
+def test_quickstart_reports_verified_safety():
+    output = run_example("quickstart.py")
+    assert "verified" in output
+
+
+def test_mutex_comparison_matches_predictions():
+    output = run_example("mutex_comparison.py")
+    # Every measured/predicted pair in the table is printed equal; spot
+    # check the L1 row.
+    line = next(l for l in output.splitlines() if l.startswith("L1"))
+    fields = line.split()
+    assert fields[4] == fields[5]  # measured == predicted
+
+
+def test_newsfeed_is_exactly_once():
+    output = run_example("field_team_newsfeed.py")
+    assert "exactly-once in order: True" in output
+    assert "False" not in output

@@ -1,0 +1,28 @@
+"""Bounded version of the deep fuzz harness (tools/fuzz_sweep.py).
+
+A handful of seeds per invariant, cheap enough for every test run;
+the full sweep (hundreds of seeds) is run manually via the tool.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import fuzz_sweep  # noqa: E402
+
+
+@pytest.mark.parametrize("name", sorted(fuzz_sweep.CHECKS))
+@pytest.mark.parametrize("seed", [0, 3, 7, 11, 42])
+def test_fuzz_invariant(name, seed):
+    check = fuzz_sweep.CHECKS[name]
+    assert check(seed) is None
+
+
+def test_harness_cli_runs():
+    assert fuzz_sweep.main(["--seeds", "2", "--only", "mutex"]) == 0

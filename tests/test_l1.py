@@ -1,0 +1,118 @@
+"""Tests for Algorithm L1: Lamport's mutex directly on mobile hosts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Category, CostModel, CriticalResource, L1Mutex
+from repro.analysis import formulas
+
+from conftest import make_sim
+
+
+def build_l1(n=4, **kwargs):
+    # One MH per cell so that every MH->MH message genuinely crosses
+    # cells and incurs a search (the paper's accounting).
+    sim = make_sim(n_mss=n, n_mh=n, placement="round_robin", **kwargs)
+    resource = CriticalResource(sim.scheduler)
+    mutex = L1Mutex(sim.network, sim.mh_ids, resource)
+    return sim, resource, mutex
+
+
+def test_single_request_grants_and_releases():
+    sim, resource, mutex = build_l1()
+    mutex.request("mh-0")
+    sim.drain()
+    assert resource.access_count == 1
+    assert resource.holders_in_order() == ["mh-0"]
+    assert [mh for (_, mh) in mutex.completed] == ["mh-0"]
+
+
+def test_execution_cost_matches_paper_formula():
+    sim, resource, mutex = build_l1(n=5)
+    costs = sim.cost_model
+    before = sim.metrics.snapshot()
+    mutex.request("mh-0")
+    sim.drain()
+    delta = sim.metrics.since(before)
+    n = 5
+    assert delta.cost(costs, "L1") == formulas.l1_execution_cost(n, costs)
+    assert delta.total(Category.SEARCH, "L1") == formulas.l1_search_count(n)
+    assert delta.total(Category.WIRELESS, "L1") == 2 * \
+        formulas.l1_message_count(n)
+
+
+def test_energy_matches_paper_formula():
+    sim, resource, mutex = build_l1(n=6)
+    before = sim.metrics.snapshot()
+    mutex.request("mh-0")
+    sim.drain()
+    delta = sim.metrics.since(before)
+    assert delta.energy() == formulas.l1_energy_total(6)
+    assert delta.energy("mh-0") == formulas.l1_energy_initiator(6)
+    for other in ["mh-1", "mh-2", "mh-3", "mh-4", "mh-5"]:
+        assert delta.energy(other) == formulas.l1_energy_non_initiator()
+
+
+def test_search_overhead_grows_linearly_with_n():
+    searches = {}
+    for n in (3, 5, 9):
+        sim, resource, mutex = build_l1(n=n)
+        mutex.request("mh-0")
+        sim.drain()
+        searches[n] = sim.metrics.total(Category.SEARCH, "L1")
+    assert searches[5] - searches[3] == 6
+    assert searches[9] - searches[5] == 12
+
+
+def test_concurrent_requests_are_safe_and_all_served():
+    sim, resource, mutex = build_l1(n=5)
+    for mh_id in sim.mh_ids:
+        mutex.request(mh_id)
+    sim.drain()
+    assert resource.access_count == 5
+    resource.assert_no_overlap()
+    assert sorted(resource.holders_in_order()) == sorted(sim.mh_ids)
+
+
+def test_all_mhs_participate_even_without_interest():
+    """Every MH pays energy in every execution -- the battery drawback."""
+    sim, resource, mutex = build_l1(n=4)
+    mutex.request("mh-0")
+    sim.drain()
+    for mh_id in sim.mh_ids:
+        assert sim.metrics.energy(mh_id) > 0
+
+
+def test_disconnection_blocks_progress():
+    """L1 does not provide for disconnection: a detached participant
+    stalls every later execution (paper Section 3.1.1)."""
+    sim, resource, mutex = build_l1(n=4)
+    sim.mh(3).disconnect()
+    sim.drain()
+    mutex.request("mh-0")
+    sim.run(until=500.0)
+    # mh-3 cannot reply, so mh-0 never enters the region.
+    assert resource.access_count == 0
+    assert mutex.node("mh-0").pending_tags() == ["mh-0"]
+
+
+def test_requests_serialize_one_at_a_time():
+    sim, resource, mutex = build_l1(n=3)
+    mutex.request("mh-0")
+    mutex.request("mh-1")
+    sim.drain()
+    resource.assert_no_overlap()
+    assert resource.access_count == 2
+
+
+def test_works_with_shared_cells_too():
+    # All MHs in one cell: no searches needed, but the algorithm is
+    # unchanged.
+    sim = make_sim(n_mss=2, n_mh=4, placement="single_cell")
+    resource = CriticalResource(sim.scheduler)
+    mutex = L1Mutex(sim.network, sim.mh_ids, resource)
+    mutex.request("mh-2")
+    sim.drain()
+    assert resource.access_count == 1
+    assert sim.metrics.total(Category.SEARCH, "L1") == 0

@@ -1,0 +1,206 @@
+"""Unit tests for the generic Lamport mutual exclusion substrate.
+
+These tests run the substrate over a synchronous in-memory transport
+(no simulator), exercising the algorithm logic in isolation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ProtocolError
+from repro.mutex.lamport_core import LamportMutexNode, MutexTransport
+
+
+class LoopbackNet:
+    """A FIFO message bus connecting Lamport nodes directly."""
+
+    def __init__(self):
+        self.nodes: Dict[str, LamportMutexNode] = {}
+        self.queue = deque()
+        self.delivered = 0
+
+    def send(self, src, dst, kind, payload):
+        self.queue.append((dst, kind, payload))
+
+    def pump(self):
+        while self.queue:
+            dst, kind, payload = self.queue.popleft()
+            node = self.nodes[dst]
+            if kind.endswith(".request"):
+                node.on_request(payload)
+            elif kind.endswith(".reply"):
+                node.on_reply(payload)
+            elif kind.endswith(".release"):
+                node.on_release(payload)
+            self.delivered += 1
+
+
+class LoopbackTransport(MutexTransport):
+    def __init__(self, net: LoopbackNet, node_id: str, all_ids: List[str]):
+        self.net = net
+        self.node_id = node_id
+        self.all_ids = all_ids
+
+    def peers(self):
+        return [n for n in self.all_ids if n != self.node_id]
+
+    def send(self, dst, kind, payload):
+        self.net.send(self.node_id, dst, kind, payload)
+
+
+def build(n: int):
+    net = LoopbackNet()
+    ids = [f"n{i}" for i in range(n)]
+    grants: List[str] = []
+    for node_id in ids:
+        node = LamportMutexNode(
+            node_id=node_id,
+            transport=LoopbackTransport(net, node_id, ids),
+            kind_prefix="lam",
+            on_granted=lambda tag, nid=node_id: grants.append(nid),
+        )
+        net.nodes[node_id] = node
+    return net, ids, grants
+
+
+def test_single_request_granted_after_replies():
+    net, ids, grants = build(3)
+    net.nodes["n0"].request("t")
+    assert grants == []  # needs replies first
+    net.pump()
+    assert grants == ["n0"]
+
+
+def test_held_request_blocks_others():
+    net, ids, grants = build(3)
+    net.nodes["n0"].request("a")
+    net.pump()
+    net.nodes["n1"].request("b")
+    net.pump()
+    assert grants == ["n0"]  # n1 waits for n0's release
+    net.nodes["n0"].release("a")
+    net.pump()
+    assert grants == ["n0", "n1"]
+
+
+def test_grants_follow_timestamp_order():
+    net, ids, grants = build(4)
+    # All request before any message is delivered: timestamps tie on
+    # counter and break by node id.
+    for node_id in reversed(ids):
+        net.nodes[node_id].request("t")
+    net.pump()
+    order = []
+    # Release in grant order until all four have been served.
+    while len(order) < 4:
+        assert grants[len(order):], "no progress"
+        current = grants[len(order)]
+        order.append(current)
+        net.nodes[current].release("t")
+        net.pump()
+    assert order == sorted(ids)
+
+
+def test_message_count_is_three_n_minus_one():
+    net, ids, grants = build(5)
+    net.nodes["n2"].request("t")
+    net.pump()
+    net.nodes["n2"].release("t")
+    net.pump()
+    # request x4, reply x4, release x4.
+    assert net.delivered == 3 * (len(ids) - 1)
+
+
+def test_multiple_tags_from_one_node_serialize():
+    net, ids, grants = build(3)
+    net.nodes["n0"].request("first")
+    net.nodes["n0"].request("second")
+    net.pump()
+    node = net.nodes["n0"]
+    assert node.held_tags() == ["first"]
+    assert node.pending_tags() == ["second"]
+    node.release("first")
+    net.pump()
+    assert node.held_tags() == ["second"]
+
+
+def test_duplicate_tag_rejected():
+    net, ids, grants = build(2)
+    net.nodes["n0"].request("t")
+    with pytest.raises(ProtocolError):
+        net.nodes["n0"].request("t")
+
+
+def test_release_without_hold_rejected():
+    net, ids, grants = build(2)
+    with pytest.raises(ProtocolError):
+        net.nodes["n0"].release("t")
+
+
+def test_abort_pending_request_unblocks_peers():
+    net, ids, grants = build(3)
+    net.nodes["n0"].request("a")   # earliest timestamp
+    net.nodes["n1"].request("b")
+    net.pump()
+    assert grants == ["n0"]
+    # n0 aborts while holding: equivalent to release.
+    net.nodes["n0"].abort("a")
+    net.pump()
+    assert grants == ["n0", "n1"]
+
+
+def test_abort_of_unknown_tag_is_noop():
+    net, ids, grants = build(2)
+    net.nodes["n0"].abort("nothing")
+    assert grants == []
+
+
+def test_queue_drains_after_releases():
+    net, ids, grants = build(3)
+    net.nodes["n0"].request("t")
+    net.pump()
+    net.nodes["n0"].release("t")
+    net.pump()
+    for node in net.nodes.values():
+        assert node.queue_size == 0
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    requests=st.lists(
+        st.integers(min_value=0, max_value=4), min_size=1, max_size=12
+    )
+)
+def test_property_safety_and_liveness_under_any_request_order(requests):
+    """Any interleaving of requests is granted one at a time and every
+    request is eventually granted (with immediate release)."""
+    net, ids, grants = build(5)
+    active = {nid: False for nid in ids}
+    expected = 0
+    for req in requests:
+        node_id = ids[req]
+        if active[node_id]:
+            continue
+        active[node_id] = True
+        expected += 1
+        net.nodes[node_id].request("t")
+        net.pump()
+    # Serve until everything granted: at every point at most one holder.
+    served = 0
+    while served < expected:
+        assert len(grants) > served, "liveness violated"
+        holder = grants[served]
+        holders_now = [
+            nid for nid in ids if net.nodes[nid].held_tags()
+        ]
+        assert holders_now == [holder]
+        net.nodes[holder].release("t")
+        active[holder] = False
+        served += 1
+        net.pump()
+    assert len(grants) == expected

@@ -1,0 +1,197 @@
+"""Tests for dynamic group membership (extension of Section 4).
+
+The paper assumes fixed membership ("the problem is to efficiently
+maintain the location of group members even after assuming that group
+membership does not change"); this extension lets members join and
+leave, with each strategy updating its location state through its own
+messages.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.groups import (
+    AlwaysInformGroup,
+    LocationViewGroup,
+    PureSearchGroup,
+)
+
+from conftest import make_sim
+
+
+def build(strategy_class, g=4, n_mss=8, n_mh=6):
+    sim = make_sim(n_mss=n_mss, n_mh=n_mh, placement="round_robin")
+    group = strategy_class(sim.network, sim.mh_ids[:g])
+    return sim, group
+
+
+class TestBaseMembership:
+    def test_add_member_receives_future_messages(self):
+        for cls in (PureSearchGroup, AlwaysInformGroup,
+                    LocationViewGroup):
+            sim, group = build(cls)
+            group.add_member("mh-4")
+            sim.drain()
+            group.send("mh-0", "post-join")
+            sim.drain()
+            assert "mh-4" in group.deliveries_of("post-join"), cls
+
+    def test_removed_member_receives_nothing_more(self):
+        for cls in (PureSearchGroup, AlwaysInformGroup,
+                    LocationViewGroup):
+            sim, group = build(cls)
+            group.remove_member("mh-2")
+            sim.drain()
+            group.send("mh-0", "post-leave")
+            sim.drain()
+            assert "mh-2" not in group.deliveries_of("post-leave"), cls
+            assert sorted(group.deliveries_of("post-leave")) == [
+                "mh-1", "mh-3"
+            ], cls
+
+    def test_double_add_rejected(self):
+        sim, group = build(PureSearchGroup)
+        with pytest.raises(ConfigurationError):
+            group.add_member("mh-0")
+
+    def test_remove_non_member_rejected(self):
+        sim, group = build(PureSearchGroup)
+        with pytest.raises(ConfigurationError):
+            group.remove_member("mh-5")
+
+    def test_disconnected_mh_cannot_join(self):
+        sim, group = build(PureSearchGroup)
+        sim.mh(4).disconnect()
+        sim.drain()
+        with pytest.raises(ConfigurationError):
+            group.add_member("mh-4")
+
+    def test_membership_changes_counted(self):
+        sim, group = build(PureSearchGroup)
+        group.add_member("mh-4")
+        group.remove_member("mh-4")
+        assert group.stats.membership_changes == 2
+
+    def test_rejoin_after_leave_works(self):
+        sim, group = build(PureSearchGroup)
+        group.remove_member("mh-1")
+        sim.drain()
+        group.add_member("mh-1")
+        sim.drain()
+        group.send("mh-0", "back")
+        sim.drain()
+        assert "mh-1" in group.deliveries_of("back")
+
+    def test_accounting_invariant_across_membership_changes(self):
+        sim, group = build(PureSearchGroup)
+        group.send("mh-0", "a")          # 3 recipients
+        sim.drain()
+        group.add_member("mh-4")
+        sim.drain()
+        group.send("mh-0", "b")          # 4 recipients
+        sim.drain()
+        group.remove_member("mh-1")
+        sim.drain()
+        group.send("mh-0", "c")          # 3 recipients
+        sim.drain()
+        assert group.stats.expected_recipients == 10
+        assert group.stats.deliveries + group.stats.missed == 10
+
+    def test_moves_of_removed_member_not_counted(self):
+        sim, group = build(PureSearchGroup)
+        group.remove_member("mh-1")
+        sim.drain()
+        before = group.stats.moves
+        sim.mh(1).move_to("mss-6")
+        sim.drain()
+        assert group.stats.moves == before
+
+
+class TestAlwaysInformMembership:
+    def test_newcomer_learns_all_locations(self):
+        sim, group = build(AlwaysInformGroup)
+        group.add_member("mh-4")
+        sim.drain()
+        directory = group.directories["mh-4"]
+        for member in ("mh-0", "mh-1", "mh-2", "mh-3"):
+            assert directory[member] == f"mss-{member[-1]}"
+
+    def test_everyone_learns_newcomer(self):
+        sim, group = build(AlwaysInformGroup)
+        group.add_member("mh-4")
+        sim.drain()
+        for member in ("mh-0", "mh-1", "mh-2", "mh-3"):
+            assert group.directories[member]["mh-4"] == "mss-4"
+
+    def test_newcomer_can_send_before_welcomes_arrive(self):
+        sim, group = build(AlwaysInformGroup)
+        group.add_member("mh-4")
+        # No drain: the hello/welcome exchange is still in flight.
+        group.send("mh-4", "eager")
+        sim.drain()
+        assert sorted(group.deliveries_of("eager")) == [
+            "mh-0", "mh-1", "mh-2", "mh-3"
+        ]
+
+    def test_goodbye_cleans_directories(self):
+        sim, group = build(AlwaysInformGroup)
+        group.remove_member("mh-2")
+        sim.drain()
+        for member in ("mh-0", "mh-1", "mh-3"):
+            assert "mh-2" not in group.directories[member]
+
+    def test_newcomer_tracked_on_later_moves(self):
+        sim, group = build(AlwaysInformGroup)
+        group.add_member("mh-4")
+        sim.drain()
+        sim.mh(4).move_to("mss-7")
+        sim.drain()
+        for member in ("mh-0", "mh-1", "mh-2", "mh-3"):
+            assert group.directories[member]["mh-4"] == "mss-7"
+
+
+class TestLocationViewMembership:
+    def test_join_in_fresh_cell_extends_view(self):
+        sim, group = build(LocationViewGroup)
+        assert group.coordinator_view() == {
+            "mss-0", "mss-1", "mss-2", "mss-3"
+        }
+        group.add_member("mh-4")  # lives in mss-4, outside the view
+        sim.drain()
+        assert group.coordinator_view() == {
+            "mss-0", "mss-1", "mss-2", "mss-3", "mss-4"
+        }
+
+    def test_join_in_covered_cell_keeps_view(self):
+        sim = make_sim(n_mss=8, n_mh=6, placement=[0, 1, 2, 3, 0, 1])
+        group = LocationViewGroup(sim.network, sim.mh_ids[:4])
+        view = group.coordinator_view()
+        group.add_member("mh-4")  # lives in mss-0, already in the view
+        sim.drain()
+        assert group.coordinator_view() == view
+
+    def test_leave_of_sole_cell_member_shrinks_view(self):
+        sim, group = build(LocationViewGroup)
+        group.remove_member("mh-3")
+        sim.drain()
+        assert group.coordinator_view() == {"mss-0", "mss-1", "mss-2"}
+
+    def test_leave_of_shared_cell_member_keeps_view(self):
+        sim = make_sim(n_mss=8, n_mh=6, placement=[0, 1, 2, 3, 3, 1])
+        group = LocationViewGroup(sim.network, sim.mh_ids[:5])
+        view = group.coordinator_view()
+        group.remove_member("mh-4")  # mh-3 still lives in mss-3
+        sim.drain()
+        assert group.coordinator_view() == view
+
+    def test_copies_converge_after_membership_churn(self):
+        sim, group = build(LocationViewGroup)
+        group.add_member("mh-4")
+        sim.drain()
+        group.remove_member("mh-0")
+        sim.drain()
+        expected = group.coordinator_view()
+        for mss_id in expected:
+            assert group.view_copies[mss_id] == expected

@@ -1,0 +1,149 @@
+"""Tests for mobility and disconnection models."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility import (
+    DisconnectionModel,
+    GraphMobility,
+    LocalizedMobility,
+    TraceMobility,
+    UniformMobility,
+)
+
+from conftest import make_sim
+
+
+def test_uniform_mobility_moves_hosts():
+    sim = make_sim(n_mss=5, n_mh=10)
+    model = UniformMobility(sim.network, sim.mh_ids, move_rate=0.5,
+                            rng=random.Random(7))
+    sim.run(until=50.0)
+    model.stop()
+    sim.drain()
+    assert model.moves_started > 0
+    total_moves = sum(sim.mh(i).moves_completed for i in range(10))
+    assert total_moves == model.moves_started
+
+
+def test_uniform_mobility_never_targets_current_cell():
+    sim = make_sim(n_mss=3, n_mh=4)
+    model = UniformMobility(sim.network, sim.mh_ids, move_rate=1.0,
+                            rng=random.Random(3))
+    for _ in range(50):
+        dest = model.choose_destination("mh-0", "mss-1")
+        assert dest != "mss-1"
+
+
+def test_graph_mobility_respects_adjacency():
+    sim = make_sim(n_mss=9, n_mh=5)
+    graph = nx.grid_2d_graph(3, 3)
+    adjacency = GraphMobility.adjacency_from_graph(graph, sim.mss_ids)
+    model = GraphMobility(sim.network, sim.mh_ids, move_rate=1.0,
+                          rng=random.Random(5), adjacency=adjacency)
+    for cell, neighbours in adjacency.items():
+        for _ in range(10):
+            dest = model.choose_destination("mh-0", cell)
+            assert dest in neighbours
+    sim.run(until=20.0)
+    model.stop()
+    sim.drain()
+    assert model.moves_started > 0
+
+
+def test_graph_mobility_rejects_unknown_cells():
+    sim = make_sim(n_mss=3, n_mh=2)
+    with pytest.raises(ConfigurationError):
+        GraphMobility(sim.network, sim.mh_ids, 1.0, random.Random(1),
+                      adjacency={"mss-0": ["nope"]})
+
+
+def test_adjacency_from_graph_size_mismatch():
+    sim = make_sim(n_mss=3, n_mh=2)
+    with pytest.raises(ConfigurationError):
+        GraphMobility.adjacency_from_graph(
+            nx.path_graph(5), sim.mss_ids
+        )
+
+
+def test_localized_mobility_stays_home_without_escape():
+    sim = make_sim(n_mss=8, n_mh=4)
+    home = ["mss-0", "mss-1"]
+    model = LocalizedMobility(
+        sim.network, sim.mh_ids[:2], move_rate=1.0,
+        rng=random.Random(11), home_cells=home,
+    )
+    sim.run(until=30.0)
+    model.stop()
+    sim.drain()
+    for i in range(2):
+        assert sim.mh(i).current_mss_id in home
+
+
+def test_localized_mobility_escapes_with_probability_one():
+    sim = make_sim(n_mss=8, n_mh=2)
+    model = LocalizedMobility(
+        sim.network, sim.mh_ids, move_rate=1.0,
+        rng=random.Random(2), home_cells=["mss-0"],
+        escape_probability=1.0,
+    )
+    dest = model.choose_destination("mh-0", "mss-0")
+    assert dest not in ("mss-0", None)
+
+
+def test_trace_mobility_replays_exactly():
+    sim = make_sim(n_mss=4, n_mh=2)
+    TraceMobility(sim.network, [
+        (5.0, "mh-0", "mss-2"),
+        (10.0, "mh-1", "mss-3"),
+        (15.0, "mh-0", "mss-1"),
+    ])
+    sim.drain()
+    assert sim.mh(0).current_mss_id == "mss-1"
+    assert sim.mh(1).current_mss_id == "mss-3"
+    assert sim.mh(0).moves_completed == 2
+
+
+def test_trace_mobility_skips_noop_and_detached_moves():
+    sim = make_sim(n_mss=4, n_mh=1)
+    trace = TraceMobility(sim.network, [
+        (1.0, "mh-0", "mss-0"),   # already there
+    ])
+    sim.drain()
+    assert trace.moves_skipped == 1
+    assert sim.mh(0).moves_completed == 0
+
+
+def test_disconnection_model_cycles():
+    sim = make_sim(n_mss=4, n_mh=4)
+    model = DisconnectionModel(
+        sim.network, sim.mh_ids, disconnect_rate=0.2, downtime=2.0,
+        rng=random.Random(9),
+    )
+    sim.run(until=60.0)
+    model.stop()
+    sim.drain()
+    assert model.disconnections > 0
+    # Everyone is back online after the drain.
+    for i in range(4):
+        assert sim.mh(i).is_connected
+
+
+def test_disconnection_without_prev_still_recovers():
+    sim = make_sim(n_mss=4, n_mh=2)
+    model = DisconnectionModel(
+        sim.network, sim.mh_ids, disconnect_rate=0.5, downtime=1.0,
+        rng=random.Random(4), supply_prev=False,
+    )
+    sim.run(until=20.0)
+    model.stop()
+    sim.drain()
+    for i in range(2):
+        assert sim.mh(i).is_connected
+    for i in range(sim.n_mss):
+        assert not sim.mss(i).disconnected_mhs

@@ -1,0 +1,246 @@
+"""Tests for exactly-once multicast delivery (the paper's ref [1])."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Category, NetworkConfig, Simulation, UniformLatency
+from repro.errors import ConfigurationError
+from repro.mobility import DisconnectionModel, UniformMobility
+from repro.multicast import ExactlyOnceMulticast
+from repro.sim import PoissonProcess
+
+from conftest import make_sim
+
+
+def build(n_mss=5, n_mh=4, gc=True, **kwargs):
+    sim = make_sim(n_mss=n_mss, n_mh=n_mh, **kwargs)
+    multicast = ExactlyOnceMulticast(sim.network, sim.mh_ids, gc=gc)
+    return sim, multicast
+
+
+class TestBasics:
+    def test_message_reaches_every_member_once(self):
+        sim, multicast = build()
+        multicast.send("mh-0", "hello")
+        sim.drain()
+        for member in sim.mh_ids:
+            assert multicast.delivered_seqs(member) == [1]
+
+    def test_total_order_across_members(self):
+        sim, multicast = build()
+        for i in range(5):
+            multicast.send(sim.mh_id(i % 4), f"m{i}")
+        sim.drain()
+        for member in sim.mh_ids:
+            assert multicast.delivered_seqs(member) == [1, 2, 3, 4, 5]
+
+    def test_sender_also_receives(self):
+        sim, multicast = build()
+        multicast.send("mh-2", "self")
+        sim.drain()
+        assert multicast.delivered_seqs("mh-2") == [1]
+
+    def test_non_member_cannot_send(self):
+        sim = make_sim(n_mss=3, n_mh=4)
+        multicast = ExactlyOnceMulticast(sim.network, sim.mh_ids[:2])
+        with pytest.raises(ConfigurationError):
+            multicast.send("mh-3", "x")
+
+    def test_duplicate_members_rejected(self):
+        sim = make_sim(n_mss=3, n_mh=2)
+        with pytest.raises(ConfigurationError):
+            ExactlyOnceMulticast(sim.network, ["mh-0", "mh-0"])
+
+
+class TestMobility:
+    def test_mover_catches_up_at_new_cell(self):
+        sim, multicast = build()
+        sim.mh(1).move_to("mss-4")
+        multicast.send("mh-0", "racing")
+        sim.drain()
+        assert multicast.delivered_seqs("mh-1") == [1]
+
+    def test_messages_sent_while_in_transit_arrive_after_join(self):
+        sim, multicast = build()
+        sim.mh(1).move_to("mss-3")
+        for i in range(3):
+            multicast.send("mh-0", f"burst{i}")
+        sim.drain()
+        assert multicast.delivered_seqs("mh-1") == [1, 2, 3]
+
+    def test_repeated_moves_never_duplicate(self):
+        sim, multicast = build(n_mss=6)
+        for i in range(4):
+            multicast.send("mh-0", f"m{i}")
+            sim.mh(1).move_to(f"mss-{(i + 2) % 6}")
+            sim.drain()
+        assert multicast.delivered_seqs("mh-1") == [1, 2, 3, 4]
+
+
+class TestDisconnection:
+    def test_disconnected_member_catches_up_on_reconnect(self):
+        sim, multicast = build()
+        sim.mh(2).disconnect()
+        sim.drain()
+        for i in range(3):
+            multicast.send("mh-0", f"while-away-{i}")
+        sim.drain()
+        assert multicast.delivered_seqs("mh-2") == []
+        sim.mh(2).reconnect("mss-4")
+        sim.drain()
+        assert multicast.delivered_seqs("mh-2") == [1, 2, 3]
+
+    def test_reconnect_without_prev_still_catches_up(self):
+        sim, multicast = build()
+        sim.mh(2).disconnect()
+        sim.drain()
+        multicast.send("mh-0", "x")
+        sim.drain()
+        sim.mh(2).reconnect("mss-3", supply_prev=False)
+        sim.drain()
+        assert multicast.delivered_seqs("mh-2") == [1]
+
+
+class TestGarbageCollection:
+    def test_buffers_prune_once_everyone_delivered(self):
+        sim, multicast = build()
+        for i in range(4):
+            multicast.send("mh-0", f"m{i}")
+        sim.drain()
+        for mss_id in sim.mss_ids:
+            assert multicast.buffer_size(mss_id) == 0
+
+    def test_buffers_grow_while_a_member_is_away(self):
+        sim, multicast = build()
+        sim.mh(3).disconnect()
+        sim.drain()
+        for i in range(5):
+            multicast.send("mh-0", f"m{i}")
+        sim.drain()
+        # Nothing can be pruned: mh-3 has seen nothing.
+        assert all(
+            multicast.buffer_size(mss_id) == 5 for mss_id in sim.mss_ids
+        )
+        sim.mh(3).reconnect("mss-0")
+        sim.drain()
+        assert all(
+            multicast.buffer_size(mss_id) == 0 for mss_id in sim.mss_ids
+        )
+
+    def test_gc_disabled_keeps_everything(self):
+        sim, multicast = build(gc=False)
+        for i in range(3):
+            multicast.send("mh-0", f"m{i}")
+        sim.drain()
+        assert all(
+            multicast.buffer_size(mss_id) == 3 for mss_id in sim.mss_ids
+        )
+        # And no ack traffic was generated.
+        assert sim.metrics.total(Category.FIXED, "eom") > 0  # floods only
+
+
+STRESS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@STRESS
+@given(
+    seed=st.integers(0, 10_000),
+    n_members=st.integers(1, 8),
+    move_rate=st.floats(0.0, 0.08),
+    disconnect_rate=st.floats(0.0, 0.02),
+)
+def test_property_exactly_once_in_order_under_churn(
+    seed, n_members, move_rate, disconnect_rate
+):
+    """The headline invariant of [1]: every member receives every
+    message exactly once, in sequence order, under arbitrary moves and
+    disconnect/reconnect cycles."""
+    sim = Simulation(
+        n_mss=5,
+        n_mh=n_members,
+        seed=seed,
+        config=NetworkConfig(
+            fixed_latency=UniformLatency(0.2, 2.0),
+            wireless_latency=UniformLatency(0.1, 0.8),
+        ),
+        placement="random",
+    )
+    multicast = ExactlyOnceMulticast(sim.network, sim.mh_ids)
+    rng = random.Random(seed + 1)
+    sent = [0]
+
+    def send_one():
+        sender = rng.choice(sim.mh_ids)
+        if sim.network.mobile_host(sender).is_connected:
+            sent[0] += 1
+            multicast.send(sender, ("m", sent[0]))
+
+    traffic = PoissonProcess(sim.scheduler, 0.05, send_one,
+                             rng=random.Random(seed + 2))
+    mobility = None
+    churn = None
+    if move_rate > 0:
+        mobility = UniformMobility(sim.network, sim.mh_ids, move_rate,
+                                   rng=random.Random(seed + 3))
+    if disconnect_rate > 0:
+        churn = DisconnectionModel(sim.network, sim.mh_ids,
+                                   disconnect_rate, downtime=5.0,
+                                   rng=random.Random(seed + 4))
+    sim.run(until=300.0)
+    traffic.stop()
+    if mobility is not None:
+        mobility.stop()
+    if churn is not None:
+        churn.stop()
+    sim.drain()
+
+    total = multicast.messages_sent
+    for member in sim.mh_ids:
+        seqs = multicast.delivered_seqs(member)
+        assert seqs == list(range(1, total + 1)), (
+            f"{member} delivered {seqs}, expected 1..{total}"
+        )
+    # Everyone caught up, so every buffer is empty again.
+    for mss_id in sim.mss_ids:
+        assert multicast.buffer_size(mss_id) == 0
+
+
+def test_bounce_back_does_not_fork_the_counter():
+    """Regression: a member that bounces A -> B -> A before the first
+    handoff request reaches A must not have its counter stolen by the
+    stale request (which would fork the state, regress the counter and
+    wedge delivery)."""
+    sim = make_sim(n_mss=4, n_mh=2, transit_time=0.1,
+                   fixed_latency=5.0, wireless_latency=0.05)
+    multicast = ExactlyOnceMulticast(sim.network, sim.mh_ids)
+    multicast.send("mh-0", "one")
+    sim.drain()
+    # Bounce: the handoff request for the first move is still crossing
+    # the slow fixed network when mh-1 returns to mss-1.
+    sim.mh(1).move_to("mss-2")
+    sim.run(until=sim.now + 0.3)
+    assert sim.mh(1).current_mss_id == "mss-2"
+    sim.mh(1).move_to("mss-1")
+    sim.run(until=sim.now + 0.3)
+    assert sim.mh(1).current_mss_id == "mss-1"
+    multicast.send("mh-0", "two")
+    sim.drain()
+    multicast.send("mh-0", "three")
+    sim.drain()
+    assert multicast.delivered_seqs("mh-1") == [1, 2, 3]
+    # Exactly one authoritative counter, at the member's cell.
+    holders = [
+        mss_id
+        for mss_id, states in multicast.member_states.items()
+        if "mh-1" in states
+    ]
+    assert holders == ["mss-1"]
+    assert multicast.member_states["mss-1"]["mh-1"] == 3

@@ -1,0 +1,158 @@
+"""Tests for totally ordered group messaging over the location view."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Category, NetworkConfig, Simulation, UniformLatency
+from repro.errors import ConfigurationError
+from repro.groups import OrderedGroup
+from repro.mobility import UniformMobility
+from repro.sim import PoissonProcess
+
+from conftest import make_sim
+
+
+def build(g=4, n_mss=6, **kwargs):
+    sim = make_sim(n_mss=n_mss, n_mh=g, **kwargs)
+    group = OrderedGroup(sim.network, sim.mh_ids)
+    return sim, group
+
+
+class TestOrdering:
+    def test_single_message_reaches_everyone(self):
+        sim, group = build()
+        group.send("mh-0", "hello")
+        sim.drain()
+        for member in sim.mh_ids:
+            assert group.delivered_seqs(member) == [1]
+
+    def test_concurrent_sends_totally_ordered(self):
+        sim, group = build()
+        for i in range(6):
+            group.send(sim.mh_id(i % 4), f"m{i}")
+        sim.drain()
+        orders = {
+            member: group.delivered_seqs(member)
+            for member in sim.mh_ids
+        }
+        for member, seqs in orders.items():
+            assert seqs == [1, 2, 3, 4, 5, 6], member
+
+    def test_non_member_rejected(self):
+        sim = make_sim(n_mss=4, n_mh=5)
+        group = OrderedGroup(sim.network, sim.mh_ids[:4])
+        with pytest.raises(ConfigurationError):
+            group.send("mh-4", "x")
+
+
+class TestFanoutCost:
+    def test_static_traffic_proportional_to_view(self):
+        # 6 members packed into 2 cells; coordinator = mss-0 (in view).
+        sim = make_sim(n_mss=8, n_mh=6,
+                       placement=[0, 1, 0, 1, 0, 1])
+        group = OrderedGroup(sim.network, sim.mh_ids)
+        before = sim.metrics.snapshot()
+        group.send("mh-0", "x")
+        sim.drain()
+        delta = sim.metrics.since(before)
+        # Uplink lands at the coordinator itself; fan-out = |LV|-1 = 1
+        # fixed message; all 6 members get a wireless copy... sender
+        # included? Delivery skips nobody at the wireless layer except
+        # nothing -- the sender also receives (total order includes
+        # your own messages).
+        assert delta.total(Category.FIXED, group.scope) == 1
+        assert delta.total(Category.WIRELESS, group.scope) == 1 + 6
+
+    def test_sender_also_delivered_in_order(self):
+        sim, group = build()
+        group.send("mh-2", "mine")
+        sim.drain()
+        assert group.delivered_seqs("mh-2") == [1]
+
+
+class TestRepair:
+    def test_mover_catches_up_via_sync(self):
+        sim, group = build(g=3, n_mss=6)
+        group.send("mh-0", "one")
+        sim.drain()
+        # mh-1 is mid-move while two messages go out.
+        sim.mh(1).move_to("mss-5")
+        group.send("mh-0", "two")
+        group.send("mh-0", "three")
+        sim.drain()
+        assert group.delivered_seqs("mh-1") == [1, 2, 3]
+
+    def test_gap_detected_from_later_message(self):
+        sim, group = build(g=3, n_mss=6, transit_time=6.0)
+        group.send("mh-0", "one")
+        sim.drain()
+        sim.mh(1).move_to("mss-4")
+        group.send("mh-0", "two")     # missed: mh-1 in transit
+        sim.drain()
+        group.send("mh-0", "three")   # arrives; exposes the gap
+        sim.drain()
+        assert group.delivered_seqs("mh-1") == [1, 2, 3]
+
+    def test_duplicates_from_repair_races_are_dropped(self):
+        sim, group = build()
+        for i in range(4):
+            group.send("mh-0", f"m{i}")
+        sim.drain()
+        for member in sim.mh_ids:
+            seqs = group.delivered_seqs(member)
+            assert seqs == sorted(set(seqs))
+
+
+STRESS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@STRESS
+@given(
+    seed=st.integers(0, 10_000),
+    g=st.integers(2, 6),
+    move_rate=st.floats(0.0, 0.06),
+)
+def test_property_total_order_exactly_once_under_mobility(
+    seed, g, move_rate
+):
+    sim = Simulation(
+        n_mss=6, n_mh=g, seed=seed,
+        config=NetworkConfig(
+            fixed_latency=UniformLatency(0.2, 2.0),
+            wireless_latency=UniformLatency(0.1, 0.6),
+        ),
+        placement="random",
+    )
+    group = OrderedGroup(sim.network, sim.mh_ids)
+    rng = random.Random(seed + 1)
+    sent = [0]
+
+    def send_one():
+        sender = rng.choice(sim.mh_ids)
+        if sim.network.mobile_host(sender).is_connected:
+            sent[0] += 1
+            group.send(sender, ("m", sent[0]))
+
+    traffic = PoissonProcess(sim.scheduler, 0.05, send_one,
+                             rng=random.Random(seed + 2))
+    mobility = None
+    if move_rate > 0:
+        mobility = UniformMobility(sim.network, sim.mh_ids, move_rate,
+                                   rng=random.Random(seed + 3))
+    sim.run(until=250.0)
+    traffic.stop()
+    if mobility is not None:
+        mobility.stop()
+    sim.drain()
+    total = group.messages_sent
+    for member in sim.mh_ids:
+        assert group.delivered_seqs(member) == \
+            list(range(1, total + 1)), member

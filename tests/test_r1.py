@@ -1,0 +1,180 @@
+"""Tests for Algorithm R1: the token ring of mobile hosts."""
+
+from __future__ import annotations
+
+from repro import Category, CriticalResource, R1Mutex
+from repro.analysis import formulas
+
+from conftest import make_sim
+
+
+def build_r1(n=4, max_traversals=1, **kwargs):
+    sim = make_sim(n_mss=n, n_mh=n, placement="round_robin", **kwargs)
+    resource = CriticalResource(sim.scheduler)
+    mutex = R1Mutex(
+        sim.network, sim.mh_ids, resource, max_traversals=max_traversals
+    )
+    return sim, resource, mutex
+
+
+def test_token_circulates_and_serves_requests():
+    sim, resource, mutex = build_r1(n=4)
+    mutex.want("mh-1")
+    mutex.want("mh-3")
+    mutex.start()
+    sim.drain()
+    assert sorted(resource.holders_in_order()) == ["mh-1", "mh-3"]
+    resource.assert_no_overlap()
+    assert mutex.finished
+
+
+def test_traversal_cost_matches_paper_formula():
+    sim, resource, mutex = build_r1(n=5)
+    costs = sim.cost_model
+    before = sim.metrics.snapshot()
+    mutex.start()
+    sim.drain()
+    delta = sim.metrics.since(before)
+    assert delta.cost(costs, "R1") == formulas.r1_traversal_cost(5, costs)
+    assert delta.total(Category.SEARCH, "R1") == \
+        formulas.r1_search_count(5)
+
+
+def test_traversal_cost_independent_of_requests_served():
+    results = {}
+    for k in (0, 3):
+        sim, resource, mutex = build_r1(n=5)
+        for mh_id in sim.mh_ids[:k]:
+            mutex.want(mh_id)
+        before = sim.metrics.snapshot()
+        mutex.start()
+        sim.drain()
+        results[k] = sim.metrics.since(before).cost(sim.cost_model, "R1")
+        assert resource.access_count == k
+    assert results[0] == results[3]
+
+
+def test_every_mh_pays_energy_each_traversal():
+    sim, resource, mutex = build_r1(n=4)
+    mutex.start()
+    sim.drain()
+    total = sum(sim.metrics.energy(mh_id) for mh_id in sim.mh_ids)
+    assert total == formulas.r1_energy_per_traversal(4)
+    for mh_id in sim.mh_ids:
+        assert sim.metrics.energy(mh_id) == 2  # receive + forward
+
+
+def test_dozing_mh_interrupted_even_without_request():
+    sim, resource, mutex = build_r1(n=4)
+    sim.mh(2).doze()
+    mutex.start()
+    sim.drain()
+    assert sim.mh(2).doze_interruptions == 1
+    assert resource.access_count == 0
+
+
+def test_multiple_traversals():
+    sim, resource, mutex = build_r1(n=3, max_traversals=3)
+    mutex.start()
+    sim.drain()
+    # 3 traversals x 3 hops.
+    assert sim.metrics.total(Category.SEARCH, "R1") == 9
+
+
+def test_disconnection_stalls_the_ring():
+    sim, resource, mutex = build_r1(n=4, max_traversals=2)
+    sim.mh(2).disconnect()
+    sim.drain()
+    mutex.want("mh-3")
+    mutex.start()
+    sim.run(until=300.0)
+    # The token cannot pass the disconnected member; mh-3 is never
+    # served even though it comes after mh-2 in the ring.
+    assert mutex.stalled_on == "mh-2"
+    assert resource.access_count == 0
+    assert not mutex.finished
+
+
+def test_moving_member_still_receives_token():
+    sim, resource, mutex = build_r1(n=4)
+    mutex.want("mh-2")
+    sim.mh(2).move_to("mss-0")
+    sim.drain()
+    mutex.start()
+    sim.drain()
+    assert resource.holders_in_order() == ["mh-2"]
+
+
+def test_want_is_consumed_by_one_access():
+    sim, resource, mutex = build_r1(n=3, max_traversals=2)
+    mutex.want("mh-1")
+    mutex.start()
+    sim.drain()
+    assert resource.access_count == 1
+
+
+class TestRingRepair:
+    """The ring re-establishment extension (auto_repair=True)."""
+
+    def test_repair_removes_dead_member_and_continues(self):
+        sim = make_sim(n_mss=5, n_mh=5, placement="round_robin")
+        from repro import CriticalResource, R1Mutex
+        resource = CriticalResource(sim.scheduler)
+        mutex = R1Mutex(sim.network, sim.mh_ids, resource,
+                        max_traversals=2, auto_repair=True)
+        sim.mh(2).disconnect()
+        sim.drain()
+        mutex.want("mh-3")
+        mutex.start()
+        sim.drain()
+        assert mutex.repairs == 1
+        assert mutex.stalled_on is None
+        assert "mh-2" not in mutex.mh_ids
+        assert resource.holders_in_order() == ["mh-3"]
+        assert mutex.finished
+
+    def test_repair_cost_is_measured(self):
+        sim = make_sim(n_mss=5, n_mh=5, placement="round_robin")
+        from repro import Category, CriticalResource, R1Mutex
+        resource = CriticalResource(sim.scheduler)
+        mutex = R1Mutex(sim.network, sim.mh_ids, resource,
+                        max_traversals=1, auto_repair=True)
+        sim.mh(2).disconnect()
+        sim.drain()
+        before = sim.metrics.snapshot()
+        mutex.start()
+        sim.drain()
+        delta = sim.metrics.since(before)
+        # One traversal of the 4 survivors (4 searches) plus the failed
+        # delivery search, 4 reconfig deliveries and the token re-route.
+        assert delta.total(Category.SEARCH, "R1") > 4
+
+    def test_multiple_disconnections_all_repaired(self):
+        sim = make_sim(n_mss=6, n_mh=6, placement="round_robin")
+        from repro import CriticalResource, R1Mutex
+        resource = CriticalResource(sim.scheduler)
+        mutex = R1Mutex(sim.network, sim.mh_ids, resource,
+                        max_traversals=2, auto_repair=True)
+        sim.mh(1).disconnect()
+        sim.mh(4).disconnect()
+        sim.drain()
+        mutex.want("mh-5")
+        mutex.start()
+        sim.drain()
+        assert mutex.repairs == 2
+        assert sorted(mutex.mh_ids) == ["mh-0", "mh-2", "mh-3", "mh-5"]
+        assert resource.holders_in_order() == ["mh-5"]
+        assert mutex.finished
+
+    def test_head_removal_moves_traversal_counting(self):
+        sim = make_sim(n_mss=4, n_mh=4, placement="round_robin")
+        from repro import CriticalResource, R1Mutex
+        resource = CriticalResource(sim.scheduler)
+        mutex = R1Mutex(sim.network, sim.mh_ids, resource,
+                        max_traversals=2, auto_repair=True)
+        sim.mh(0).disconnect()  # the ring head
+        sim.drain()
+        mutex.start()
+        sim.run(until=500.0)
+        assert mutex.repairs == 1
+        assert mutex.finished

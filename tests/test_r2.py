@@ -1,0 +1,268 @@
+"""Tests for Algorithms R2, R2' and R2'': the MSS token ring."""
+
+from __future__ import annotations
+
+from repro import Category, CriticalResource, R2Mutex, R2Variant
+from repro.analysis import formulas
+from repro.net import ConstantLatency, NetworkConfig
+
+from conftest import make_sim
+
+
+def build_r2(n_mss=4, n_mh=4, variant=R2Variant.PLAIN, max_traversals=1,
+             **kwargs):
+    sim = make_sim(n_mss=n_mss, n_mh=n_mh, placement="round_robin",
+                   **kwargs)
+    resource = CriticalResource(sim.scheduler)
+    mutex = R2Mutex(
+        sim.network,
+        resource,
+        variant=variant,
+        max_traversals=max_traversals,
+    )
+    return sim, resource, mutex
+
+
+def test_request_served_when_token_arrives():
+    sim, resource, mutex = build_r2()
+    mutex.request("mh-2")
+    sim.drain()
+    mutex.start()
+    sim.drain()
+    assert resource.holders_in_order() == ["mh-2"]
+    assert [mh for (_, mh) in mutex.completed] == ["mh-2"]
+
+
+def test_traversal_cost_matches_paper_formula_with_nomadic_requesters():
+    """K requests, each from a MH that moved after requesting, cost
+    K*(3*C_w + C_f + C_s) + M*C_f per traversal."""
+    n = 5
+    sim, resource, mutex = build_r2(n_mss=n, n_mh=n)
+    costs = sim.cost_model
+    for i in range(n):
+        mutex.request(f"mh-{i}")
+    sim.drain()
+    # Every requester moves two cells over: the grant needs a search and
+    # the token returns over a fixed hop -- the paper's accounting.
+    for i in range(n):
+        sim.mh(i).move_to(f"mss-{(i + 2) % n}")
+    sim.drain()
+    before = sim.metrics.snapshot()
+    mutex.start()
+    sim.drain()
+    delta = sim.metrics.since(before)
+    assert delta.cost(costs, "R2") == formulas.r2_traversal_cost(
+        n, n, costs
+    ) - n * costs.c_wireless  # requests were counted before the snapshot
+    assert resource.access_count == n
+    resource.assert_no_overlap()
+
+
+def test_full_cost_including_requests_matches_formula():
+    n = 4
+    sim, resource, mutex = build_r2(n_mss=n, n_mh=n)
+    costs = sim.cost_model
+    before = sim.metrics.snapshot()
+    for i in range(n):
+        mutex.request(f"mh-{i}")
+    sim.drain()
+    for i in range(n):
+        sim.mh(i).move_to(f"mss-{(i + 2) % n}")
+    sim.drain()
+    mutex.start()
+    sim.drain()
+    delta = sim.metrics.since(before)
+    assert delta.cost(costs, "R2") == formulas.r2_traversal_cost(
+        n, n, costs
+    )
+
+
+def test_traversal_cost_with_zero_requests_is_m_fixed():
+    sim, resource, mutex = build_r2(n_mss=6, n_mh=0)
+    before = sim.metrics.snapshot()
+    mutex.start()
+    sim.drain()
+    delta = sim.metrics.since(before)
+    assert delta.cost(sim.cost_model, "R2") == 6 * sim.cost_model.c_fixed
+
+
+def test_only_requesters_spend_energy():
+    sim, resource, mutex = build_r2()
+    mutex.request("mh-1")
+    sim.drain()
+    mutex.start()
+    sim.drain()
+    assert sim.metrics.energy("mh-1") == formulas.r2_energy_per_request()
+    for mh_id in ("mh-0", "mh-2", "mh-3"):
+        assert sim.metrics.energy(mh_id) == 0
+
+
+def test_dozing_nonrequester_not_interrupted():
+    sim, resource, mutex = build_r2()
+    sim.mh(0).doze()
+    mutex.request("mh-1")
+    sim.drain()
+    mutex.start()
+    sim.drain()
+    assert sim.mh(0).doze_interruptions == 0
+    assert resource.access_count == 1
+
+
+def chase_config():
+    """Timing that lets a MH outrun the token to the next MSS: quick
+    wireless hops and moves, slow fixed network."""
+    return dict(
+        transit_time=0.1,
+        search_delay=0.1,
+        search_retry_delay=0.1,
+        fixed_latency=10.0,
+        wireless_latency=0.05,
+    )
+
+
+def chase(sim, mutex, mh_index, next_mss):
+    """After each completed access, move the MH to ``next_mss`` and
+    request again -- the paper's multiple-accesses-per-traversal
+    scenario."""
+    done = {"count": 0}
+
+    def on_complete(mh_id):
+        done["count"] += 1
+        if done["count"] == 1:
+            sim.mh(mh_index).move_to(next_mss)
+            sim.scheduler.schedule(
+                0.5, lambda: mutex.request(f"mh-{mh_index}")
+            )
+
+    mutex.on_complete = on_complete
+    return done
+
+
+class TestFairnessVariants:
+    def test_plain_r2_serves_a_chasing_mh_twice_per_traversal(self):
+        sim, resource, mutex = build_r2(
+            n_mss=4, n_mh=4, variant=R2Variant.PLAIN, max_traversals=1,
+            **chase_config(),
+        )
+        mutex.request("mh-0")
+        sim.drain()
+        chase(sim, mutex, 0, "mss-1")
+        mutex.start()
+        sim.drain()
+        # Served at mss-0 and again at mss-1 within the same traversal.
+        assert resource.holders_in_order() == ["mh-0", "mh-0"]
+
+    def test_r2_prime_limits_to_one_access_per_traversal(self):
+        sim, resource, mutex = build_r2(
+            n_mss=4, n_mh=4, variant=R2Variant.COUNTER, max_traversals=1,
+            **chase_config(),
+        )
+        mutex.request("mh-0")
+        sim.drain()
+        chase(sim, mutex, 0, "mss-1")
+        mutex.start()
+        sim.drain()
+        assert resource.holders_in_order() == ["mh-0"]
+
+    def test_r2_prime_serves_again_next_traversal(self):
+        sim, resource, mutex = build_r2(
+            n_mss=4, n_mh=4, variant=R2Variant.COUNTER, max_traversals=2,
+            **chase_config(),
+        )
+        mutex.request("mh-0")
+        sim.drain()
+        chase(sim, mutex, 0, "mss-1")
+        mutex.start()
+        sim.drain()
+        assert resource.holders_in_order() == ["mh-0", "mh-0"]
+
+    def test_malicious_mh_fools_r2_prime(self):
+        sim, resource, mutex = build_r2(
+            n_mss=4, n_mh=4, variant=R2Variant.COUNTER, max_traversals=1,
+            **chase_config(),
+        )
+        mutex.malicious_mhs.add("mh-0")
+        mutex.request("mh-0")
+        sim.drain()
+        chase(sim, mutex, 0, "mss-1")
+        mutex.start()
+        sim.drain()
+        # The lie (access_count=0) earns a second access per traversal.
+        assert resource.holders_in_order() == ["mh-0", "mh-0"]
+
+    def test_token_list_variant_resists_malicious_mh(self):
+        sim, resource, mutex = build_r2(
+            n_mss=4, n_mh=4, variant=R2Variant.TOKEN_LIST,
+            max_traversals=1, **chase_config(),
+        )
+        mutex.malicious_mhs.add("mh-0")
+        mutex.request("mh-0")
+        sim.drain()
+        chase(sim, mutex, 0, "mss-1")
+        mutex.start()
+        sim.drain()
+        # The token remembers <mss-0, mh-0>; the second request waits.
+        assert resource.holders_in_order() == ["mh-0"]
+
+    def test_token_list_serves_again_after_full_traversal(self):
+        sim, resource, mutex = build_r2(
+            n_mss=4, n_mh=4, variant=R2Variant.TOKEN_LIST,
+            max_traversals=2, **chase_config(),
+        )
+        mutex.malicious_mhs.add("mh-0")
+        mutex.request("mh-0")
+        sim.drain()
+        chase(sim, mutex, 0, "mss-1")
+        mutex.start()
+        sim.drain()
+        # Second access only after the token visited every MSS again
+        # and mss-0's pair was purged... the entry <mss-0, mh-0> is
+        # deleted when the token revisits mss-0, so the request queued
+        # at mss-1 is served in traversal 2.
+        assert resource.holders_in_order() == ["mh-0", "mh-0"]
+
+
+class TestDisconnection:
+    def test_disconnected_requester_skipped_token_returned(self):
+        sim, resource, mutex = build_r2(n_mss=4, n_mh=4)
+        mutex.request("mh-1")
+        mutex.request("mh-2")
+        sim.drain()
+        sim.mh(1).disconnect()
+        sim.drain()
+        mutex.start()
+        sim.drain()
+        assert mutex.skipped_disconnected == ["mh-1"]
+        assert resource.holders_in_order() == ["mh-2"]
+        assert mutex.finished
+
+    def test_bystander_disconnection_has_no_effect(self):
+        sim, resource, mutex = build_r2(n_mss=4, n_mh=4)
+        sim.mh(3).disconnect()
+        sim.drain()
+        mutex.request("mh-0")
+        sim.drain()
+        mutex.start()
+        sim.drain()
+        assert resource.access_count == 1
+        assert mutex.finished
+
+
+def test_requests_during_service_wait_for_next_traversal():
+    sim, resource, mutex = build_r2(n_mss=3, n_mh=3, max_traversals=2)
+    mutex.request("mh-0")
+    sim.drain()
+    mutex.start()
+    sim.drain()
+    assert resource.access_count == 1
+
+
+def test_multiple_requesters_all_served_in_one_traversal():
+    sim, resource, mutex = build_r2(n_mss=4, n_mh=4)
+    for mh_id in sim.mh_ids:
+        mutex.request(mh_id)
+    sim.drain()
+    mutex.start()
+    sim.drain()
+    assert sorted(resource.holders_in_order()) == sorted(sim.mh_ids)
+    resource.assert_no_overlap()

@@ -1,0 +1,125 @@
+"""Tests for the regional (two-level) search protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Category
+from repro.errors import ConfigurationError
+from repro.net.messages import Message
+from repro.net.regional_search import RegionalSearch
+
+from conftest import make_sim
+
+
+def build(n_mss=8, region_size=4):
+    protocol = RegionalSearch(region_size=region_size)
+    sim = make_sim(n_mss=n_mss, n_mh=3, search=protocol)
+    for i in range(3):
+        sim.mh(i).register_handler("rs.msg", lambda m: None)
+    return sim, protocol
+
+
+def send(sim, dst, scope="rs", on_disconnected=None):
+    sim.network.send_to_mh(
+        "mss-0", dst,
+        Message(kind="rs.msg", src="mss-0", dst=dst, scope=scope),
+        on_disconnected=on_disconnected,
+    )
+
+
+class TestPartitioning:
+    def test_region_indices(self):
+        sim, protocol = build(n_mss=8, region_size=4)
+        assert protocol.region_index(sim.network, "mss-0") == 0
+        assert protocol.region_index(sim.network, "mss-3") == 0
+        assert protocol.region_index(sim.network, "mss-4") == 1
+        assert protocol.region_members(sim.network, 1) == [
+            "mss-4", "mss-5", "mss-6", "mss-7"
+        ]
+
+    def test_invalid_region_size(self):
+        with pytest.raises(ConfigurationError):
+            RegionalSearch(region_size=0)
+
+
+class TestSearchCost:
+    def test_probe_count_is_region_bound(self):
+        sim, protocol = build(n_mss=8, region_size=4)
+        send(sim, "mh-1")
+        sim.drain()
+        # home query+reply (2) + region probes (4) + reply (1)
+        # + forward (1).
+        assert sim.metrics.total(Category.SEARCH_PROBE, "rs") == 8
+
+    def test_cost_scales_with_region_size_not_m(self):
+        costs = {}
+        for m, r in ((8, 2), (16, 2)):
+            protocol = RegionalSearch(region_size=r)
+            sim = make_sim(n_mss=m, n_mh=3, search=protocol)
+            sim.mh(1).register_handler("rs.msg", lambda msg: None)
+            send(sim, "mh-1")
+            sim.drain()
+            costs[m] = sim.metrics.total(Category.SEARCH_PROBE, "rs")
+        assert costs[8] == costs[16]  # independent of M
+
+
+class TestMaintenance:
+    def test_intra_region_move_costs_nothing(self):
+        sim, protocol = build(n_mss=8, region_size=4)
+        before = sim.metrics.total(Category.FIXED, "search-maintenance")
+        sim.mh(0).move_to("mss-2")  # stays in region 0
+        sim.drain()
+        assert sim.metrics.total(
+            Category.FIXED, "search-maintenance"
+        ) == before
+        assert protocol.region_crossings == 0
+
+    def test_region_crossing_updates_directory(self):
+        sim, protocol = build(n_mss=8, region_size=4)
+        before = sim.metrics.total(Category.FIXED, "search-maintenance")
+        sim.mh(0).move_to("mss-5")  # region 0 -> region 1
+        sim.drain()
+        assert protocol.region_crossings == 1
+        assert sim.metrics.total(
+            Category.FIXED, "search-maintenance"
+        ) >= before
+
+    def test_search_finds_mover_after_crossing(self):
+        sim, protocol = build(n_mss=8, region_size=4)
+        sim.mh(1).move_to("mss-6")
+        sim.drain()
+        send(sim, "mh-1")
+        sim.drain()
+        assert sim.metrics.total(Category.WIRELESS, "rs") == 1
+
+    def test_search_finds_mover_within_region(self):
+        sim, protocol = build(n_mss=8, region_size=4)
+        sim.mh(1).move_to("mss-3")  # stays in region 0
+        sim.drain()
+        send(sim, "mh-1")
+        sim.drain()
+        assert sim.metrics.total(Category.WIRELESS, "rs") == 1
+
+
+class TestRobustness:
+    def test_disconnected_resolves_to_status(self):
+        sim, protocol = build()
+        outcomes = []
+        sim.mh(1).disconnect()
+        sim.drain()
+        send(sim, "mh-1", on_disconnected=outcomes.append)
+        sim.drain()
+        assert len(outcomes) == 1
+        assert outcomes[0].disconnected
+
+    def test_in_transit_mh_found_after_landing(self):
+        sim, protocol = build()
+        sim.mh(1).move_to("mss-7")
+        send(sim, "mh-1")
+        sim.drain()
+        assert sim.metrics.total(Category.WIRELESS, "rs") == 1
+
+    def test_facade_accepts_regional_by_name(self):
+        sim = make_sim(n_mss=4, n_mh=1, search="regional")
+        assert isinstance(sim.network.search_protocol, RegionalSearch)

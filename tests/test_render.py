@@ -1,0 +1,93 @@
+"""Tests for the ASCII rendering helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CostModel
+from repro.errors import ConfigurationError
+from repro.metrics.render import bar_chart, cost_sparklines, sparkline
+from repro.metrics.timeline import TimelineCollector
+from repro.sim import Scheduler
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series(self):
+        result = sparkline([5.0, 5.0, 5.0])
+        assert len(result) == 3
+        assert len(set(result)) == 1
+
+    def test_monotone_series_monotone_glyphs(self):
+        levels = " .:-=+*#%@"
+        result = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8])
+        indices = [levels.index(ch) for ch in result]
+        assert indices == sorted(indices)
+        assert indices[0] < indices[-1]
+
+    def test_width_resampling(self):
+        result = sparkline(list(range(100)), width=10)
+        assert len(result) == 10
+
+    def test_extremes_hit_ends_of_scale(self):
+        result = sparkline([0.0, 10.0])
+        levels = " .:-=+*#%@"
+        assert result[0] == levels[1]
+        assert result[1] == levels[-1]
+
+
+class TestBarChart:
+    def test_renders_all_labels_and_values(self):
+        chart = bar_chart({"alpha": 10.0, "beta": 5.0})
+        assert "alpha" in chart and "beta" in chart
+        assert "10" in chart and "5" in chart
+
+    def test_sorted_by_value(self):
+        chart = bar_chart({"small": 1.0, "big": 100.0})
+        lines = chart.splitlines()
+        assert lines[0].startswith("big")
+
+    def test_longest_bar_belongs_to_peak(self):
+        chart = bar_chart({"a": 100.0, "b": 50.0}, width=20)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_zero_values(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in chart
+
+    def test_empty(self):
+        assert bar_chart({}) == ""
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart({"a": 1.0}, width=0)
+
+
+class TestCostSparklines:
+    def test_renders_one_row_per_scope(self):
+        sched = Scheduler()
+        collector = TimelineCollector(sched)
+        sched.schedule(1.0, collector.record_fixed, "a")
+        sched.schedule(25.0, collector.record_search, "a")
+        sched.drain()
+        out = cost_sparklines(
+            collector, CostModel(), bucket=10.0, scopes=["a", "b"],
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "no traffic" in lines[1]
+
+    def test_totals_shown(self):
+        sched = Scheduler()
+        collector = TimelineCollector(sched)
+        sched.schedule(1.0, collector.record_fixed, "x")
+        sched.schedule(2.0, collector.record_fixed, "x")
+        sched.drain()
+        out = cost_sparklines(
+            collector, CostModel(c_fixed=3.0), bucket=10.0, scopes=["x"],
+        )
+        assert "6" in out

@@ -1,0 +1,83 @@
+"""Unit tests for the critical-region safety oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MutualExclusionViolation
+from repro.mutex import CriticalResource
+from repro.sim import Scheduler
+
+
+def test_single_holder_allowed():
+    resource = CriticalResource(Scheduler())
+    resource.enter("a")
+    resource.leave("a")
+    assert resource.access_count == 1
+    assert resource.holder is None
+
+
+def test_concurrent_enter_raises():
+    resource = CriticalResource(Scheduler())
+    resource.enter("a")
+    with pytest.raises(MutualExclusionViolation):
+        resource.enter("b")
+
+
+def test_violation_counted_when_not_raising():
+    resource = CriticalResource(Scheduler(), raise_on_violation=False)
+    resource.enter("a")
+    resource.enter("b")
+    assert resource.violations == 1
+
+
+def test_leave_by_non_holder_raises():
+    resource = CriticalResource(Scheduler())
+    resource.enter("a")
+    with pytest.raises(MutualExclusionViolation):
+        resource.leave("b")
+
+
+def test_access_log_records_times():
+    sched = Scheduler()
+    resource = CriticalResource(sched)
+    sched.schedule(1.0, resource.enter, "a")
+    sched.schedule(3.0, resource.leave, "a")
+    sched.drain()
+    record = resource.accesses[0]
+    assert record.enter_time == 1.0
+    assert record.exit_time == 3.0
+
+
+def test_holders_in_order():
+    resource = CriticalResource(Scheduler())
+    for holder in ["x", "y", "z"]:
+        resource.enter(holder)
+        resource.leave(holder)
+    assert resource.holders_in_order() == ["x", "y", "z"]
+
+
+def test_assert_no_overlap_passes_on_clean_log():
+    sched = Scheduler()
+    resource = CriticalResource(sched)
+    for t, holder in [(1.0, "a"), (5.0, "b")]:
+        sched.schedule(t, resource.enter, holder)
+        sched.schedule(t + 1.0, resource.leave, holder)
+    sched.drain()
+    resource.assert_no_overlap()
+
+
+def test_assert_no_overlap_detects_forged_log():
+    sched = Scheduler()
+    resource = CriticalResource(sched, raise_on_violation=False)
+    resource.enter("a")
+    resource.enter("b")  # counted, not raised
+    resource.leave("b")
+    with pytest.raises(MutualExclusionViolation):
+        resource.assert_no_overlap()
+
+
+def test_info_recorded():
+    resource = CriticalResource(Scheduler())
+    resource.enter("a", info={"ts": 7})
+    assert resource.accesses[0].info == {"ts": 7}

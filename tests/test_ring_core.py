@@ -1,0 +1,176 @@
+"""Unit tests for the token ring substrate."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.mutex.ring_core import RingNode, Token
+
+
+class RingNet:
+    """Synchronous FIFO bus for ring nodes."""
+
+    def __init__(self):
+        self.nodes = {}
+        self.queue = deque()
+
+    def send(self, dst, kind, token):
+        self.queue.append((dst, token))
+
+    def pump(self, max_steps=10_000):
+        steps = 0
+        while self.queue and steps < max_steps:
+            dst, token = self.queue.popleft()
+            self.nodes[dst].handle_token(token)
+            steps += 1
+
+
+def build(n, on_token=None):
+    net = RingNet()
+    ids = [f"r{i}" for i in range(n)]
+    visits = []
+
+    def default_on_token(node_id):
+        def handler(token, forward):
+            visits.append(node_id)
+            forward()
+        return handler
+
+    for node_id in ids:
+        net.nodes[node_id] = RingNode(
+            node_id=node_id,
+            ring_order=ids,
+            send=net.send,
+            kind_prefix="ring",
+            on_token=(on_token or default_on_token)(node_id),
+        )
+    return net, ids, visits
+
+
+def test_token_visits_members_in_ring_order():
+    net, ids, visits = build(4)
+    stop = [False]
+
+    # Replace head behaviour: stop after one traversal.
+    original = net.nodes["r0"].on_token
+
+    def head_handler(token, forward):
+        if token.traversals >= 1:
+            stop[0] = True
+            return
+        original(token, forward)
+
+    net.nodes["r0"].on_token = head_handler
+    net.nodes["r0"].inject_token(Token())
+    net.pump()
+    assert visits == ["r0", "r1", "r2", "r3"]
+    assert stop[0]
+
+
+def test_traversal_counter_increments_at_head():
+    net, ids, visits = build(3)
+    counts = []
+
+    def head_handler(token, forward):
+        counts.append(token.traversals)
+        if token.traversals >= 3:
+            return
+        forward()
+
+    net.nodes["r0"].on_token = head_handler
+    net.nodes["r0"].inject_token(Token())
+    net.pump()
+    assert counts == [0, 1, 2, 3]
+
+
+def test_token_val_advances_with_traversals():
+    net, ids, visits = build(2)
+    vals = []
+
+    def head_handler(token, forward):
+        vals.append(token.token_val)
+        if token.traversals >= 2:
+            return
+        forward()
+
+    net.nodes["r0"].on_token = head_handler
+    net.nodes["r0"].inject_token(Token(token_val=1))
+    net.pump()
+    assert vals == [1, 2, 3]
+
+
+def test_hops_counted():
+    net, ids, visits = build(3)
+    tokens = []
+
+    def head_handler(token, forward):
+        tokens.append(token)
+        if token.traversals >= 1:
+            return
+        forward()
+
+    net.nodes["r0"].on_token = head_handler
+    net.nodes["r0"].inject_token(Token())
+    net.pump()
+    assert tokens[-1].hops == 3
+
+
+def test_successor_wraps_around():
+    net, ids, visits = build(3)
+    assert net.nodes["r2"].successor() == "r0"
+    assert net.nodes["r0"].successor() == "r1"
+
+
+def test_double_forward_rejected():
+    net, ids, visits = build(2)
+    captured = {}
+
+    def capture(node_id):
+        def handler(token, forward):
+            captured["forward"] = forward
+            forward()
+        return handler
+
+    net2, ids2, _ = build(2, on_token=capture)
+    net2.nodes["r0"].inject_token(Token())
+    with pytest.raises(ProtocolError):
+        captured["forward"]()
+
+
+def test_token_arrival_while_held_rejected():
+    net, ids, visits = build(2, on_token=lambda nid: (
+        lambda token, forward: None  # hold forever
+    ))
+    net.nodes["r0"].inject_token(Token())
+    with pytest.raises(ProtocolError):
+        net.nodes["r0"].handle_token(Token())
+
+
+def test_nonmember_rejected():
+    with pytest.raises(ConfigurationError):
+        RingNode("x", ["a", "b"], lambda *a: None, "ring",
+                 lambda t, f: f())
+
+
+def test_duplicate_members_rejected():
+    with pytest.raises(ConfigurationError):
+        RingNode("a", ["a", "a"], lambda *a: None, "ring",
+                 lambda t, f: f())
+
+
+def test_has_token_reflects_holding():
+    holder = {}
+
+    def keep(nid):
+        def handler(token, forward):
+            holder["forward"] = forward
+        return handler
+
+    net, ids, _ = build(2, on_token=keep)
+    net.nodes["r0"].inject_token(Token())
+    assert net.nodes["r0"].has_token
+    holder["forward"]()
+    assert not net.nodes["r0"].has_token

@@ -1,0 +1,172 @@
+"""Unit tests for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim import Scheduler
+
+
+def test_events_fire_in_time_order():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(3.0, fired.append, "c")
+    sched.schedule(1.0, fired.append, "a")
+    sched.schedule(2.0, fired.append, "b")
+    sched.drain()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sched = Scheduler()
+    fired = []
+    for label in "abcde":
+        sched.schedule(1.0, fired.append, label)
+    sched.drain()
+    assert fired == list("abcde")
+
+
+def test_now_advances_to_event_time():
+    sched = Scheduler()
+    seen = []
+    sched.schedule(2.5, lambda: seen.append(sched.now))
+    sched.drain()
+    assert seen == [2.5]
+    assert sched.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, "early")
+    sched.schedule(5.0, fired.append, "late")
+    sched.run(until=2.0)
+    assert fired == ["early"]
+    assert sched.now == 2.0
+    sched.run(until=10.0)
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_with_empty_queue():
+    sched = Scheduler()
+    sched.run(until=7.0)
+    assert sched.now == 7.0
+
+
+def test_cancelled_event_does_not_fire():
+    sched = Scheduler()
+    fired = []
+    event = sched.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sched.drain()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sched = Scheduler()
+    event = sched.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sched.drain() == 0
+
+
+def test_events_scheduled_during_run_fire():
+    sched = Scheduler()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sched.schedule(1.0, chain, n + 1)
+
+    sched.schedule(0.0, chain, 0)
+    sched.drain()
+    assert fired == [0, 1, 2, 3]
+    assert sched.now == 3.0
+
+
+def test_negative_delay_rejected():
+    sched = Scheduler()
+    with pytest.raises(ConfigurationError):
+        sched.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sched = Scheduler()
+    sched.schedule(1.0, lambda: None)
+    sched.drain()
+    with pytest.raises(ConfigurationError):
+        sched.schedule_at(0.5, lambda: None)
+
+
+def test_max_events_bounds_run():
+    sched = Scheduler()
+    for _ in range(10):
+        sched.schedule(1.0, lambda: None)
+    assert sched.run(max_events=4) == 4
+    assert sched.pending_count == 6
+
+
+def test_drain_detects_livelock():
+    sched = Scheduler()
+
+    def forever():
+        sched.schedule(1.0, forever)
+
+    sched.schedule(1.0, forever)
+    with pytest.raises(SimulationError):
+        sched.drain(max_events=100)
+
+
+def test_events_processed_counter():
+    sched = Scheduler()
+    for _ in range(5):
+        sched.schedule(1.0, lambda: None)
+    sched.drain()
+    assert sched.events_processed == 5
+
+
+def test_step_returns_false_on_empty_queue():
+    assert Scheduler().step() is False
+
+
+def test_scheduler_not_reentrant():
+    sched = Scheduler()
+    errors = []
+
+    def reenter():
+        try:
+            sched.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sched.schedule(1.0, reenter)
+    sched.drain()
+    assert len(errors) == 1
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                max_size=50))
+def test_property_firing_times_are_sorted(delays):
+    sched = Scheduler()
+    times = []
+    for delay in delays:
+        sched.schedule(delay, lambda: times.append(sched.now))
+    sched.drain()
+    assert times == sorted(times)
+    assert len(times) == len(delays)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100),
+                          st.integers()), max_size=40))
+def test_property_ties_break_by_insertion_order(items):
+    sched = Scheduler()
+    fired = []
+    for delay, tag in items:
+        sched.schedule(delay, fired.append, (delay, tag))
+    sched.drain()
+    # Stable sort of the insertion sequence by delay equals firing order.
+    expected = sorted(items, key=lambda pair: pair[0])
+    assert fired == expected

@@ -1,0 +1,262 @@
+"""Randomized end-to-end stress tests.
+
+Hypothesis drives whole-system runs -- random seeds, rates, sizes --
+and checks the invariants that must hold under *any* interleaving:
+mutual exclusion safety, eventual completion, delivery accounting, and
+FIFO ordering.  These are the tests that catch race conditions the
+deterministic scenario tests cannot reach.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro
+from repro import (
+    CriticalResource,
+    L2Mutex,
+    NetworkConfig,
+    R2Mutex,
+    R2Variant,
+    Simulation,
+    UniformLatency,
+)
+from repro.groups import (
+    AlwaysInformGroup,
+    LocationViewGroup,
+    PureSearchGroup,
+)
+from repro.mobility import DisconnectionModel, UniformMobility
+from repro.proxy import (
+    AdaptiveProxyPolicy,
+    ProxiedMessenger,
+    ProxyManager,
+)
+from repro.workload import GroupMessagingWorkload, MutexWorkload
+
+STRESS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def random_latency_sim(seed, n_mss, n_mh):
+    return Simulation(
+        n_mss=n_mss,
+        n_mh=n_mh,
+        seed=seed,
+        config=NetworkConfig(
+            fixed_latency=UniformLatency(0.2, 3.0),
+            wireless_latency=UniformLatency(0.1, 1.0),
+        ),
+        placement="random",
+    )
+
+
+@STRESS
+@given(
+    seed=st.integers(0, 10_000),
+    n_mss=st.integers(2, 8),
+    n_mh=st.integers(2, 16),
+    move_rate=st.floats(0.0, 0.1),
+)
+def test_l2_safety_under_random_mobility(seed, n_mss, n_mh, move_rate):
+    sim = random_latency_sim(seed, n_mss, n_mh)
+    resource = CriticalResource(sim.scheduler)
+    mutex = L2Mutex(sim.network, resource, cs_duration=0.4)
+    workload = MutexWorkload(sim.network, mutex, sim.mh_ids,
+                             request_rate=0.05,
+                             rng=random.Random(seed + 1))
+    mobility = None
+    if move_rate > 0:
+        mobility = UniformMobility(sim.network, sim.mh_ids, move_rate,
+                                   rng=random.Random(seed + 2))
+    sim.run(until=150.0)
+    workload.stop()
+    if mobility is not None:
+        mobility.stop()
+    sim.drain()
+    resource.assert_no_overlap()
+    assert workload.completed == workload.issued
+    assert resource.access_count == workload.issued
+
+
+@STRESS
+@given(
+    seed=st.integers(0, 10_000),
+    variant=st.sampled_from(list(R2Variant)),
+    n_mh=st.integers(2, 10),
+    move_rate=st.floats(0.0, 0.05),
+)
+def test_r2_safety_under_random_mobility(seed, variant, n_mh, move_rate):
+    sim = random_latency_sim(seed, 5, n_mh)
+    resource = CriticalResource(sim.scheduler)
+    mutex = R2Mutex(sim.network, resource, cs_duration=0.3,
+                    variant=variant)
+    workload = MutexWorkload(sim.network, mutex, sim.mh_ids,
+                             request_rate=0.04,
+                             rng=random.Random(seed + 1))
+    mobility = None
+    if move_rate > 0:
+        mobility = UniformMobility(sim.network, sim.mh_ids, move_rate,
+                                   rng=random.Random(seed + 2))
+    mutex.start()
+    sim.run(until=150.0)
+    workload.stop()
+    if mobility is not None:
+        mobility.stop()
+    # Keep circulating until every issued request completed.
+    deadline = sim.now + 3000.0
+    while workload.completed < workload.issued and sim.now < deadline:
+        sim.run(until=sim.now + 50.0)
+    mutex.max_traversals = 0
+    sim.run(until=sim.now + 300.0)
+    resource.assert_no_overlap()
+    assert workload.completed == workload.issued
+
+
+@STRESS
+@given(
+    seed=st.integers(0, 10_000),
+    downtime=st.floats(1.0, 10.0),
+)
+def test_l2_safety_under_disconnections(seed, downtime):
+    """Random disconnect/reconnect cycles: some requests abort, some
+    complete, safety always holds, nothing hangs."""
+    sim = random_latency_sim(seed, 4, 8)
+    resource = CriticalResource(sim.scheduler)
+    mutex = L2Mutex(sim.network, resource, cs_duration=0.5)
+    workload = MutexWorkload(sim.network, mutex, sim.mh_ids,
+                             request_rate=0.04,
+                             rng=random.Random(seed + 1))
+    churn = DisconnectionModel(sim.network, sim.mh_ids,
+                               disconnect_rate=0.02,
+                               downtime=downtime,
+                               rng=random.Random(seed + 2))
+    sim.run(until=200.0)
+    workload.stop()
+    churn.stop()
+    sim.drain()
+    resource.assert_no_overlap()
+    # Every issued request either completed or was aborted because the
+    # requester disconnected before its grant.
+    aborted = len(mutex.aborted)
+    assert workload.completed + aborted == workload.issued
+    # The region is free at the end.
+    assert resource.holder is None
+
+
+@STRESS
+@given(
+    seed=st.integers(0, 10_000),
+    strategy_class=st.sampled_from(
+        [PureSearchGroup, AlwaysInformGroup, LocationViewGroup]
+    ),
+    group_size=st.integers(2, 8),
+    move_rate=st.floats(0.0, 0.05),
+)
+def test_group_delivery_accounting(seed, strategy_class, group_size,
+                                   move_rate):
+    """Over any run: every group message accounts for all |G|-1
+    recipients as either delivered or missed-in-transient."""
+    sim = random_latency_sim(seed, 6, group_size)
+    group = strategy_class(sim.network, sim.mh_ids)
+    workload = GroupMessagingWorkload(sim.network, group,
+                                      message_rate=0.05,
+                                      rng=random.Random(seed + 1))
+    mobility = None
+    if move_rate > 0:
+        mobility = UniformMobility(sim.network, sim.mh_ids, move_rate,
+                                   rng=random.Random(seed + 2))
+    sim.run(until=200.0)
+    workload.stop()
+    if mobility is not None:
+        mobility.stop()
+    sim.drain()
+    expected = group.stats.messages * (group_size - 1)
+    assert group.stats.deliveries + group.stats.missed == expected
+    # Without mobility nothing can be missed.
+    if move_rate == 0:
+        assert group.stats.missed == 0
+
+
+@STRESS
+@given(
+    seed=st.integers(0, 10_000),
+    n_messages=st.integers(1, 60),
+)
+def test_fixed_network_fifo_property(seed, n_messages):
+    sim = random_latency_sim(seed, 2, 0)
+    got = []
+    sim.mss(1).register_handler("fifo.t", lambda m: got.append(m.payload))
+    from repro.net.messages import Message
+    for i in range(n_messages):
+        sim.network.send_fixed(Message(
+            kind="fifo.t", src="mss-0", dst="mss-1", payload=i,
+            scope="t",
+        ))
+        if i % 3 == 0:
+            sim.run(until=sim.now + 0.5)
+    sim.drain()
+    assert got == list(range(n_messages))
+
+
+@STRESS
+@given(seed=st.integers(0, 10_000))
+def test_protocols_coexist_on_one_system(seed):
+    """L2 mutex, an R2 ring, a location-view group and an adaptive
+    proxy messenger all share one network without interfering."""
+    sim = random_latency_sim(seed, 5, 12)
+    rng = random.Random(seed + 1)
+
+    resource_a = CriticalResource(sim.scheduler)
+    l2 = L2Mutex(sim.network, resource_a, cs_duration=0.3, scope="L2x")
+    resource_b = CriticalResource(sim.scheduler)
+    r2 = R2Mutex(sim.network, resource_b, cs_duration=0.3, scope="R2x")
+    group = LocationViewGroup(sim.network, sim.mh_ids[:5],
+                              scope="lvx")
+    manager = ProxyManager(sim.network, AdaptiveProxyPolicy(),
+                           sim.mh_ids, scope="proxyx")
+    messenger = ProxiedMessenger(manager)
+
+    l2_work = MutexWorkload(sim.network, l2, sim.mh_ids[:6], 0.03,
+                            rng=random.Random(seed + 2))
+    r2_work = MutexWorkload(sim.network, r2, sim.mh_ids[6:], 0.03,
+                            rng=random.Random(seed + 3))
+    group_work = GroupMessagingWorkload(sim.network, group, 0.04,
+                                        rng=random.Random(seed + 4))
+    mobility = UniformMobility(sim.network, sim.mh_ids, 0.01,
+                               rng=random.Random(seed + 5))
+    sent = [0]
+
+    def send_letter():
+        src, dst = rng.sample(sim.mh_ids, 2)
+        if sim.network.mobile_host(src).is_connected:
+            sent[0] += 1
+            messenger.send(src, dst, ("l", sent[0]))
+
+    from repro.sim import PoissonProcess
+    letters = PoissonProcess(sim.scheduler, 0.03, send_letter,
+                             rng=random.Random(seed + 6))
+
+    r2.start()
+    sim.run(until=150.0)
+    for stoppable in (l2_work, r2_work, group_work, mobility, letters):
+        stoppable.stop()
+    deadline = sim.now + 3000.0
+    while r2_work.completed < r2_work.issued and sim.now < deadline:
+        sim.run(until=sim.now + 50.0)
+    r2.max_traversals = 0
+    sim.run(until=sim.now + 300.0)
+    sim.drain()
+
+    resource_a.assert_no_overlap()
+    resource_b.assert_no_overlap()
+    assert l2_work.completed == l2_work.issued
+    assert r2_work.completed == r2_work.issued
+    assert len(messenger.delivered) == sent[0]
+    expected = group.stats.messages * 4
+    assert group.stats.deliveries + group.stats.missed == expected

@@ -1,0 +1,96 @@
+"""Tests for the sweep/statistics utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.sweeps import Summary, dominates, series, summarize, sweep
+from repro.errors import ConfigurationError
+
+
+def test_summarize_basic():
+    summary = summarize([1.0, 2.0, 3.0])
+    assert summary.mean == 2.0
+    assert summary.minimum == 1.0
+    assert summary.maximum == 3.0
+    assert summary.n == 3
+    assert summary.stdev == pytest.approx(1.0)
+
+
+def test_summarize_single_value():
+    summary = summarize([5.0])
+    assert summary.stdev == 0.0
+    assert summary.stderr == 0.0
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        summarize([])
+
+
+def test_stderr_shrinks_with_n():
+    wide = summarize([1.0, 3.0])
+    narrow = summarize([1.0, 3.0] * 8)
+    assert narrow.stderr < wide.stderr
+
+
+def test_sweep_runs_grid_and_seeds():
+    calls = []
+
+    def experiment(parameter, seed):
+        calls.append((parameter, seed))
+        return parameter * 10 + seed
+
+    result = sweep(experiment, [1, 2], seeds=[0, 1, 2])
+    assert len(calls) == 6
+    assert result[1].mean == pytest.approx(11.0)
+    assert result[2].mean == pytest.approx(21.0)
+
+
+def test_sweep_requires_seeds():
+    with pytest.raises(ConfigurationError):
+        sweep(lambda p, s: 0.0, [1], seeds=[])
+
+
+def test_series_extraction():
+    result = sweep(lambda p, s: p + s, [1, 2, 3], seeds=[0, 2])
+    xs, means, errors = series(result)
+    assert xs == [1, 2, 3]
+    assert means == [2.0, 3.0, 4.0]
+    assert all(e >= 0 for e in errors)
+
+
+def test_dominates():
+    low = sweep(lambda p, s: p, [1, 2], seeds=[0])
+    high = sweep(lambda p, s: p + 5, [1, 2], seeds=[0])
+    assert dominates(low, high)
+    assert not dominates(high, low)
+
+
+def test_dominates_requires_same_grid():
+    a = sweep(lambda p, s: p, [1], seeds=[0])
+    b = sweep(lambda p, s: p, [2], seeds=[0])
+    with pytest.raises(ConfigurationError):
+        dominates(a, b)
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+def test_property_mean_within_bounds(values):
+    summary = summarize(values)
+    # Floating-point summation can push the mean past the extrema by
+    # a few ulps; allow a proportional tolerance.
+    tolerance = 1e-9 * max(1.0, abs(summary.minimum),
+                           abs(summary.maximum))
+    assert summary.minimum - tolerance <= summary.mean
+    assert summary.mean <= summary.maximum + tolerance
+    assert summary.stdev >= 0.0
+
+
+@given(st.lists(st.floats(-100, 100), min_size=2, max_size=30),
+       st.floats(-50, 50))
+def test_property_shift_invariance_of_stdev(values, shift):
+    base = summarize(values)
+    shifted = summarize([v + shift for v in values])
+    assert shifted.stdev == pytest.approx(base.stdev, abs=1e-6)
+    assert shifted.mean == pytest.approx(base.mean + shift, abs=1e-6)

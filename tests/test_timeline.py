@@ -1,0 +1,104 @@
+"""Tests for the time-resolved metrics collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CostModel, CriticalResource, L2Mutex, Simulation
+from repro.errors import ConfigurationError
+from repro.metrics.timeline import TimelineCollector
+from repro.sim import Scheduler
+
+COSTS = CostModel(c_fixed=1.0, c_wireless=5.0, c_search=10.0)
+
+
+def make_collector():
+    sched = Scheduler()
+    return sched, TimelineCollector(sched)
+
+
+def test_events_are_timestamped():
+    sched, collector = make_collector()
+    sched.schedule(2.0, collector.record_fixed, "a")
+    sched.schedule(5.0, collector.record_search, "a")
+    sched.drain()
+    assert [(e.time, e.category.value) for e in collector.events] == [
+        (2.0, "fixed"), (5.0, "search"),
+    ]
+
+
+def test_totals_still_work_like_base_collector():
+    sched, collector = make_collector()
+    collector.record_fixed("x")
+    collector.record_wireless_tx("mh-0", "x")
+    assert collector.cost(COSTS) == 6.0
+    assert collector.energy("mh-0") == 1
+
+
+def test_cumulative_cost_series():
+    sched, collector = make_collector()
+    sched.schedule(1.0, collector.record_fixed, "a")
+    sched.schedule(2.0, collector.record_search, "a")
+    sched.schedule(3.0, collector.record_fixed, "b")
+    sched.drain()
+    series = collector.cumulative_cost(COSTS)
+    assert series == [(1.0, 1.0), (2.0, 11.0), (3.0, 12.0)]
+    scoped = collector.cumulative_cost(COSTS, scope="a")
+    assert scoped == [(1.0, 1.0), (2.0, 11.0)]
+
+
+def test_bucketed_cost():
+    sched, collector = make_collector()
+    for t in (0.5, 1.5, 10.5, 11.0):
+        sched.schedule(t, collector.record_fixed, "a")
+    sched.drain()
+    buckets = collector.bucketed_cost(COSTS, bucket=10.0)
+    assert buckets == [(0.0, 2.0), (10.0, 2.0)]
+
+
+def test_bucket_must_be_positive():
+    sched, collector = make_collector()
+    with pytest.raises(ConfigurationError):
+        collector.bucketed_cost(COSTS, bucket=0.0)
+
+
+def test_cost_between():
+    sched, collector = make_collector()
+    for t in (1.0, 2.0, 3.0, 4.0):
+        sched.schedule(t, collector.record_fixed, "a")
+    sched.drain()
+    assert collector.cost_between(COSTS, 2.0, 4.0) == 2.0
+    assert collector.cost_between(COSTS, 0.0, 10.0) == 4.0
+    with pytest.raises(ConfigurationError):
+        collector.cost_between(COSTS, 5.0, 1.0)
+
+
+def test_scopes_over_time():
+    sched, collector = make_collector()
+    sched.schedule(0.5, collector.record_fixed, "a")
+    sched.schedule(12.0, collector.record_fixed, "b")
+    sched.schedule(13.0, collector.record_search_probe, "b", 3)
+    sched.drain()
+    rows = collector.scopes_over_time(bucket=10.0)
+    assert rows["a"] == [1, 0]
+    assert rows["b"] == [0, 4]
+
+
+def test_simulation_timeline_flag():
+    sim = Simulation(n_mss=4, n_mh=4, seed=1, timeline=True)
+    assert isinstance(sim.metrics, TimelineCollector)
+    resource = CriticalResource(sim.scheduler)
+    mutex = L2Mutex(sim.network, resource)
+    mutex.request("mh-0")
+    sim.drain()
+    curve = sim.metrics.cumulative_cost(sim.cost_model, scope="L2")
+    assert curve
+    # Monotone nondecreasing cumulative cost; final point equals total.
+    values = [cost for (_, cost) in curve]
+    assert values == sorted(values)
+    assert values[-1] == sim.cost("L2")
+
+
+def test_timeline_off_by_default():
+    sim = Simulation(n_mss=2, n_mh=1, seed=1)
+    assert not isinstance(sim.metrics, TimelineCollector)
