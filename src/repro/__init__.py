@@ -39,6 +39,14 @@ from repro.errors import (
     UnknownHostError,
 )
 from repro.facade import Simulation
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    MssCrash,
+    Partition,
+    apply_fault_plan,
+)
 from repro.hosts import HostState, MobileHost, MobileSupportStation
 from repro.metrics import Category, CostModel, MetricsCollector
 from repro.multicast import ExactlyOnceMulticast
@@ -56,6 +64,7 @@ from repro.net import (
     ConstantLatency,
     Network,
     NetworkConfig,
+    ReliableTransport,
     UniformLatency,
 )
 
@@ -71,7 +80,12 @@ __all__ = [
     "CriticalResource",
     "ExactlyOnceMulticast",
     "FairnessViolation",
+    "FaultInjector",
+    "FaultPlan",
     "HostState",
+    "LinkFault",
+    "MssCrash",
+    "Partition",
     "L1Mutex",
     "L2Mutex",
     "MetricsCollector",
@@ -85,8 +99,10 @@ __all__ = [
     "R1Mutex",
     "R2Mutex",
     "R2Variant",
+    "ReliableTransport",
     "ReproError",
     "Simulation",
+    "apply_fault_plan",
     "SimulationError",
     "UniformLatency",
     "UnknownHostError",

@@ -81,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--c-fixed", type=float, default=1.0)
         p.add_argument("--c-wireless", type=float, default=5.0)
         p.add_argument("--c-search", type=float, default=10.0)
+        p.add_argument(
+            "--fault-plan", default=None, metavar="PATH_OR_JSON",
+            help="fault plan to run under: path to a JSON file, or an "
+                 "inline JSON object (starts with '{')",
+        )
 
     mutex = sub.add_parser(
         "mutex", help="distributed mutual exclusion (Section 3)"
@@ -136,6 +141,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_fault_plan(spec: Optional[str]):
+    if spec is None:
+        return None
+    from repro.errors import ConfigurationError
+    from repro.faults import FaultPlan
+
+    try:
+        if spec.lstrip().startswith("{"):
+            return FaultPlan.from_json(spec)
+        return FaultPlan.load(spec)
+    except (OSError, ValueError, ConfigurationError) as exc:
+        raise SystemExit(f"--fault-plan: {exc}") from exc
+
+
 def _build_sim(args) -> Simulation:
     return Simulation(
         n_mss=args.n_mss,
@@ -147,6 +166,7 @@ def _build_sim(args) -> Simulation:
             c_search=args.c_search,
         ),
         search=args.search,
+        fault_plan=_parse_fault_plan(getattr(args, "fault_plan", None)),
     )
 
 
@@ -168,6 +188,14 @@ def _print_report(sim: Simulation, emit) -> None:
     for scope in sorted(report["cost_by_scope"]):
         emit(f"  {scope:<16}: {report['cost_by_scope'][scope]:.1f}")
     emit(f"MH energy      : {report['energy_total']} wireless ops")
+    snap = sim.metrics.snapshot()
+    if snap.faults or snap.recovery_times:
+        from repro.metrics.render import fault_summary
+
+        emit("")
+        emit("fault events:")
+        for line in fault_summary(snap).splitlines():
+            emit(f"  {line}")
 
 
 def _run_mutex(args, emit) -> int:

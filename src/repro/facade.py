@@ -21,6 +21,7 @@ import random
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, apply_fault_plan
 from repro.hosts import MobileHost, MobileSupportStation
 from repro.metrics import CostModel, MetricsCollector
 from repro.net import Network, NetworkConfig
@@ -84,6 +85,10 @@ class Simulation:
         placement: initial MH placement -- ``"round_robin"`` (default),
             ``"single_cell"``, ``"random"``, an explicit list of cell
             indices, or a callable ``(mh_index, n_mss) -> cell_index``.
+        fault_plan: optional :class:`~repro.faults.FaultPlan`; when
+            given, the fault injector (and, per the plan, the reliable
+            delivery layer) is installed before any algorithm attaches,
+            so protocols built on this simulation auto-detect it.
     """
 
     def __init__(
@@ -96,6 +101,7 @@ class Simulation:
         search: Union[str, SearchProtocol] = "abstract",
         placement: Placement = "round_robin",
         timeline: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if n_mss < 1:
             raise ConfigurationError("need at least one MSS")
@@ -139,6 +145,11 @@ class Simulation:
             self.network.register_mh(mh)
             mh.attach_initial(f"mss-{cells[i]}")
             self._mh.append(mh)
+        self.fault_injector = (
+            apply_fault_plan(self.network, fault_plan)
+            if fault_plan is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Accessors

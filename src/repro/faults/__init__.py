@@ -1,0 +1,50 @@
+"""Fault injection: dropping the "reliable FIFO network" assumption.
+
+The paper proves its algorithms correct assuming a reliable, sequenced
+fixed network and crash-free support stations.  This package makes both
+assumptions *optional*:
+
+* :class:`FaultPlan` declares what goes wrong -- probabilistic or
+  scheduled message drop, duplication and extra delay on wired links,
+  wired-network partitions, and MSS crash/recovery events;
+* :class:`FaultInjector` executes a plan against a
+  :class:`~repro.net.Network`;
+* :func:`apply_fault_plan` wires a plan onto a network, installing both
+  the injector and (when ``plan.reliable``) the reliable-delivery layer
+  (:class:`~repro.net.reliable.ReliableTransport`) that restores
+  FIFO-exactly-once delivery on top of the now-lossy links.
+
+Every existing algorithm and benchmark can run under a plan unchanged:
+the hooks live inside the network, below the protocol API.
+"""
+
+from repro.faults.injector import FaultDecision, FaultInjector
+from repro.faults.plan import FaultPlan, LinkFault, MssCrash, Partition
+
+__all__ = [
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFault",
+    "MssCrash",
+    "Partition",
+    "apply_fault_plan",
+]
+
+
+def apply_fault_plan(network, plan: FaultPlan) -> FaultInjector:
+    """Install ``plan`` on ``network``; returns the bound injector.
+
+    Installs the :class:`FaultInjector` and, when ``plan.reliable`` is
+    true, the reliable-delivery layer with the plan's retransmission
+    knobs.
+    """
+    injector = FaultInjector(plan)
+    network.install_faults(injector)
+    if plan.reliable:
+        network.install_reliable(
+            timeout=plan.retransmit_timeout,
+            backoff=plan.retransmit_backoff,
+            max_retries=plan.max_retransmits,
+        )
+    return injector

@@ -1,0 +1,196 @@
+"""The fault injector: executes a :class:`FaultPlan` against a network.
+
+The injector is consulted by :class:`~repro.net.Network` on every
+fixed-network transmission (drop / duplicate / delay / partition) and
+drives the scheduled MSS crash and recovery events, including the
+orphan-rejoin protocol: every MH local to a crashing MSS is silently
+detached and, after ``FaultPlan.rejoin_delay``, re-registers at a
+surviving MSS through the reconnect protocol of Section 2.
+
+Protocol objects that keep per-MSS state (e.g. the R2 ring) subscribe
+to crash/recovery events via :meth:`FaultInjector.add_crash_listener`
+so they can discard state lost with the crashed station.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
+
+from repro.errors import SimulationError
+from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.messages import Message
+    from repro.net.network import Network
+
+CrashListener = Callable[[str], None]
+
+
+@dataclass
+class FaultDecision:
+    """Outcome of consulting the injector for one transmission."""
+
+    drop: bool = False
+    reason: str = ""
+    duplicates: int = 0
+    extra_delay: float = 0.0
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a running simulation.
+
+    Construct with a plan, then install on a network via
+    :meth:`Network.install_faults` (or let
+    :func:`repro.faults.apply_fault_plan` wire both the injector and the
+    reliable layer).  All fault decisions draw from a private RNG seeded
+    by ``plan.seed``, so a plan misbehaves identically on every run.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.network: Optional["Network"] = None
+        self.stats: Counter = Counter()
+        self._rng = random.Random(plan.seed)
+        self._crashed: Set[str] = set()
+        self._crash_listeners: List[CrashListener] = []
+        self._recovery_listeners: List[CrashListener] = []
+        self._crash_times: Dict[str, float] = {}
+        self._pending_orphans: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def bind(self, network: "Network") -> None:
+        """Attach to ``network`` and schedule the plan's crash events.
+
+        Called by :meth:`Network.install_faults`; do not call directly.
+        """
+        if self.network is not None:
+            raise SimulationError("fault injector already bound")
+        self.network = network
+        for crash in self.plan.crashes:
+            network.scheduler.schedule_at(
+                crash.at, self._crash, crash.mss_id
+            )
+            if crash.recover_at is not None:
+                network.scheduler.schedule_at(
+                    crash.recover_at, self._recover, crash.mss_id
+                )
+
+    def add_crash_listener(self, listener: CrashListener) -> None:
+        """Invoke ``listener(mss_id)`` right after each MSS crash."""
+        self._crash_listeners.append(listener)
+
+    def add_recovery_listener(self, listener: CrashListener) -> None:
+        """Invoke ``listener(mss_id)`` right after each MSS recovery."""
+        self._recovery_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Queries from the network
+    # ------------------------------------------------------------------
+
+    def is_crashed(self, mss_id: str) -> bool:
+        """Whether ``mss_id`` is currently down."""
+        return mss_id in self._crashed
+
+    def decide_fixed(self, message: "Message") -> FaultDecision:
+        """Fault outcome for one fixed-network transmission."""
+        now = self.network.scheduler.now
+        for partition in self.plan.partitions:
+            if partition.severs(message.src, message.dst, now):
+                self.stats["fixed.partition_dropped"] += 1
+                return FaultDecision(
+                    drop=True, reason="fixed.partition_dropped"
+                )
+        decision = FaultDecision()
+        for fault in self.plan.link_faults:
+            if not fault.applies(message.src, message.dst, now):
+                continue
+            if fault.drop and self._rng.random() < fault.drop:
+                self.stats["fixed.dropped"] += 1
+                return FaultDecision(drop=True, reason="fixed.dropped")
+            if fault.duplicate and self._rng.random() < fault.duplicate:
+                decision.duplicates += 1
+                self.stats["fixed.duplicated"] += 1
+            decision.extra_delay += fault.extra_delay
+        if decision.extra_delay:
+            self.stats["fixed.delayed"] += 1
+        return decision
+
+    # ------------------------------------------------------------------
+    # Crash / recovery execution
+    # ------------------------------------------------------------------
+
+    def _crash(self, mss_id: str) -> None:
+        if mss_id in self._crashed:
+            return
+        network = self.network
+        mss = network.mss(mss_id)
+        self._crashed.add(mss_id)
+        mss.crashed = True
+        self.stats["mss.crash"] += 1
+        network.metrics.record_fault("mss.crash")
+        self._crash_times[mss_id] = network.scheduler.now
+        # Volatile cell state dies with the station.
+        orphans = sorted(mss.local_mhs)
+        mss.local_mhs.clear()
+        mss.disconnected_mhs.clear()
+        if orphans:
+            self._pending_orphans[mss_id] = set(orphans)
+        for index, mh_id in enumerate(orphans):
+            network.mobile_host(mh_id).orphan()
+            self.stats["mh.orphaned"] += 1
+            network.metrics.record_fault("mh.orphaned")
+            # Stagger the rejoins slightly so reconnect traffic does not
+            # arrive as one synchronized burst.
+            network.scheduler.schedule(
+                self.plan.rejoin_delay + 0.1 * index,
+                self._rejoin,
+                mss_id,
+                mh_id,
+            )
+        for listener in self._crash_listeners:
+            listener(mss_id)
+
+    def _rejoin(self, crashed_mss_id: str, mh_id: str) -> None:
+        network = self.network
+        mh = network.mobile_host(mh_id)
+        if mh.is_disconnected and mh.orphaned:
+            alive = [
+                m for m in network.mss_ids() if m not in self._crashed
+            ]
+            if not alive:
+                network.scheduler.schedule(
+                    self.plan.rejoin_delay, self._rejoin,
+                    crashed_mss_id, mh_id,
+                )
+                return
+            # The previous MSS is (or was) dead, so the MH cannot rely
+            # on it answering a handoff: reconnect without naming it,
+            # which triggers the Section 2 broadcast query.
+            mh.reconnect(self._rng.choice(alive), supply_prev=False)
+            self.stats["mh.rejoined"] += 1
+            network.metrics.record_fault("mh.rejoined")
+        pending = self._pending_orphans.get(crashed_mss_id)
+        if pending is not None:
+            pending.discard(mh_id)
+            if not pending:
+                del self._pending_orphans[crashed_mss_id]
+                network.metrics.record_recovery_time(
+                    network.scheduler.now
+                    - self._crash_times[crashed_mss_id]
+                )
+
+    def _recover(self, mss_id: str) -> None:
+        if mss_id not in self._crashed:
+            return
+        self._crashed.discard(mss_id)
+        self.network.mss(mss_id).crashed = False
+        self.stats["mss.recover"] += 1
+        self.network.metrics.record_fault("mss.recover")
+        for listener in self._recovery_listeners:
+            listener(mss_id)

@@ -1,0 +1,230 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a pure-data description of every deviation from
+the paper's Section 2 guarantees that a run should suffer: probabilistic
+or scheduled message drop, duplication and extra delay on fixed-network
+links, wired-link partitions, and MSS crash/recovery events.  Plans are
+plain dataclasses so they can be built in code, round-tripped through
+JSON (``--fault-plan`` on the CLI), and compared in tests.
+
+The plan says *what* goes wrong; the :class:`~repro.faults.injector.
+FaultInjector` executes it against a :class:`~repro.net.Network`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def _window_contains(start: float, end: Optional[float], now: float) -> bool:
+    return now >= start and (end is None or now < end)
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Probabilistic impairment of fixed-network links.
+
+    Applies to every directed MSS pair matching ``src``/``dst`` (``None``
+    matches any host) during ``[start, end)`` (``end=None`` means
+    forever).  Each matching transmission independently suffers:
+
+    * loss with probability ``drop``,
+    * duplication with probability ``duplicate`` (one extra copy,
+      delivered out of FIFO order -- exactly the hazard a reliable
+      channel must suppress),
+    * a deterministic ``extra_delay`` added to its latency draw.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    extra_delay: float = 0.0
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    start: float = 0.0
+    end: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"LinkFault.{name} must be a probability, got {value}"
+                )
+        if self.extra_delay < 0:
+            raise ConfigurationError("extra_delay must be nonnegative")
+        if self.end is not None and self.end <= self.start:
+            raise ConfigurationError("LinkFault window must end after start")
+
+    def applies(self, src: str, dst: str, now: float) -> bool:
+        """Whether this fault covers a ``src -> dst`` message at ``now``."""
+        if self.src is not None and self.src != src:
+            return False
+        if self.dst is not None and self.dst != dst:
+            return False
+        return _window_contains(self.start, self.end, now)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A wired-network partition over a time window.
+
+    ``groups`` are disjoint sets of MSS ids; while the partition is
+    active, messages between members of *different* groups are dropped.
+    MSSs not named in any group form one implicit extra group (they can
+    still talk to each other, but to no named group).
+    """
+
+    groups: Tuple[Tuple[str, ...], ...]
+    start: float = 0.0
+    end: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        seen: set = set()
+        for group in self.groups:
+            for mss_id in group:
+                if mss_id in seen:
+                    raise ConfigurationError(
+                        f"{mss_id} appears in two partition groups"
+                    )
+                seen.add(mss_id)
+        if self.end is not None and self.end <= self.start:
+            raise ConfigurationError("Partition window must end after start")
+
+    def severs(self, src: str, dst: str, now: float) -> bool:
+        """Whether the partition blocks ``src -> dst`` at ``now``."""
+        if not _window_contains(self.start, self.end, now):
+            return False
+        side_of = {}
+        for index, group in enumerate(self.groups):
+            for mss_id in group:
+                side_of[mss_id] = index
+        return side_of.get(src, -1) != side_of.get(dst, -1)
+
+
+@dataclass(frozen=True)
+class MssCrash:
+    """One MSS crash (and optional recovery) event.
+
+    A crashed MSS loses all volatile cell state (its ``local_mhs`` and
+    disconnected flags), silently discards every message addressed to
+    it, and sends nothing.  Its local MHs are orphaned and rejoin the
+    system through the reconnect protocol after ``FaultPlan.
+    rejoin_delay``.  ``recover_at=None`` means the crash is permanent.
+    """
+
+    mss_id: str
+    at: float
+    recover_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError("crash time must be nonnegative")
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise ConfigurationError("recover_at must be after the crash")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that goes wrong in one run, and the recovery knobs.
+
+    Attributes:
+        link_faults: probabilistic drop/duplicate/delay rules.
+        partitions: scheduled wired-network partitions.
+        crashes: MSS crash/recovery events.
+        seed: seed of the injector's private RNG (fault decisions are
+            reproducible independently of the simulation's own RNG use).
+        reliable: install the reliable-delivery layer
+            (:class:`~repro.net.reliable.ReliableTransport`) so that
+            fixed-network FIFO-exactly-once is *recovered* on top of the
+            lossy links.  Disable to study raw algorithm behaviour
+            outside the paper's assumptions.
+        rejoin_delay: how long an orphaned MH takes to notice its MSS
+            died and reconnect elsewhere.
+        retransmit_timeout: reliable channel's initial retransmit timer.
+        retransmit_backoff: exponential backoff factor per retry.
+        max_retransmits: retry cap before the channel gives a message up.
+    """
+
+    link_faults: Tuple[LinkFault, ...] = ()
+    partitions: Tuple[Partition, ...] = ()
+    crashes: Tuple[MssCrash, ...] = ()
+    seed: int = 0
+    reliable: bool = True
+    rejoin_delay: float = 5.0
+    retransmit_timeout: float = 4.0
+    retransmit_backoff: float = 1.5
+    max_retransmits: int = 10
+
+    def __post_init__(self) -> None:
+        if self.rejoin_delay <= 0:
+            raise ConfigurationError("rejoin_delay must be positive")
+        if self.retransmit_timeout <= 0:
+            raise ConfigurationError("retransmit_timeout must be positive")
+        if self.retransmit_backoff < 1.0:
+            raise ConfigurationError("retransmit_backoff must be >= 1")
+        if self.max_retransmits < 0:
+            raise ConfigurationError("max_retransmits must be nonnegative")
+
+    # ------------------------------------------------------------------
+    # Serialization (CLI --fault-plan, experiment configs)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable dict; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        """Build a plan from a plain dict (parsed JSON)."""
+        known = {
+            "link_faults", "partitions", "crashes", "seed", "reliable",
+            "rejoin_delay", "retransmit_timeout", "retransmit_backoff",
+            "max_retransmits",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault plan keys: {sorted(unknown)}"
+            )
+        link_faults = tuple(
+            LinkFault(**fault) for fault in data.get("link_faults", ())
+        )
+        partitions = tuple(
+            Partition(
+                groups=tuple(
+                    tuple(group) for group in part.get("groups", ())
+                ),
+                start=part.get("start", 0.0),
+                end=part.get("end"),
+            )
+            for part in data.get("partitions", ())
+        )
+        crashes = tuple(
+            MssCrash(**crash) for crash in data.get("crashes", ())
+        )
+        scalars = {
+            key: data[key]
+            for key in known - {"link_faults", "partitions", "crashes"}
+            if key in data
+        }
+        return cls(
+            link_faults=link_faults,
+            partitions=partitions,
+            crashes=crashes,
+            **scalars,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from a JSON string."""
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Read a plan from a JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

@@ -63,6 +63,9 @@ class MobileHost(Host):
         self.dozing = False
         self.doze_interruptions = 0
         self.moves_completed = 0
+        #: ``True`` while detached because the serving MSS crashed (set
+        #: by :meth:`orphan`, cleared on reconnect).
+        self.orphaned = False
         self._attach_listeners: list = []
 
     # ------------------------------------------------------------------
@@ -141,6 +144,19 @@ class MobileHost(Host):
         )
 
     def _arrive(self, new_mss_id: str, prev_mss_id: Optional[str]) -> None:
+        if self.network.is_mss_crashed(new_mss_id):
+            # The destination cell went dark during transit: its join
+            # message would vanish, leaving the MH invisible forever.
+            # Keep moving to the nearest live cell instead.
+            self.network.metrics.record_fault("mh.rerouted_join")
+            rerouted = self.network.next_alive_mss(new_mss_id)
+            self.network.scheduler.schedule(
+                self.network.config.transit_time,
+                self._arrive,
+                rerouted if rerouted is not None else new_mss_id,
+                prev_mss_id,
+            )
+            return
         self.session += 1
         self.state = HostState.CONNECTED
         self.current_mss_id = new_mss_id
@@ -165,6 +181,21 @@ class MobileHost(Host):
         self.state = HostState.DISCONNECTED
         self.current_mss_id = None
 
+    def orphan(self) -> None:
+        """Detach silently because the serving MSS crashed.
+
+        Unlike :meth:`disconnect`, no ``disconnect(r)`` message is sent
+        (there is nobody to receive it) and no MSS records the
+        disconnection.  The fault injector later drives the reconnect
+        without a previous-MSS hint.  No-op unless currently connected.
+        """
+        if not self.is_connected:
+            return
+        self.disconnect_mss_id = self.current_mss_id
+        self.state = HostState.DISCONNECTED
+        self.current_mss_id = None
+        self.orphaned = True
+
     def reconnect(self, mss_id: str, supply_prev: bool = True) -> None:
         """Reattach at ``mss_id``.
 
@@ -177,11 +208,23 @@ class MobileHost(Host):
                 f"{self.host_id} cannot reconnect while {self.state.value}"
             )
         self.network.mss(mss_id)  # validate destination exists
+        if self.network.is_mss_crashed(mss_id):
+            # Reconnecting into a dark cell would leave the MH believing
+            # it is attached while no station serves it; pick the
+            # nearest live cell instead.
+            rerouted = self.network.next_alive_mss(mss_id)
+            if rerouted is None:
+                raise NotConnectedError(
+                    f"{self.host_id} cannot reconnect: no MSS is alive"
+                )
+            self.network.metrics.record_fault("mh.rerouted_reconnect")
+            mss_id = rerouted
         prev = self.disconnect_mss_id if supply_prev else None
         self.session += 1
         self.state = HostState.CONNECTED
         self.current_mss_id = mss_id
         self.last_received_seq = 0
+        self.orphaned = False
         self._send_system(
             KIND_RECONNECT, ReconnectPayload(self.host_id, prev)
         )

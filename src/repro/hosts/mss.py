@@ -71,6 +71,9 @@ class MobileSupportStation(Host):
         self.local_mhs: Set[str] = set()
         #: MHs that disconnected in this cell and have not reconnected.
         self.disconnected_mhs: Set[str] = set()
+        #: set by the fault injector while this station is down; a
+        #: crashed MSS neither receives nor transmits.
+        self.crashed = False
         self._join_listeners: List[JoinListener] = []
         self._leave_listeners: List[LeaveListener] = []
         self._disconnect_listeners: List[LeaveListener] = []
@@ -87,6 +90,14 @@ class MobileSupportStation(Host):
         self.register_handler(
             KIND_FIND_DISCONNECT_REPLY, self._on_find_disconnect_reply
         )
+
+    def handle_message(self, message: Message) -> None:
+        if self.crashed:
+            # A crashed station consumes nothing: messages already in
+            # flight toward it (wired or wireless) vanish on arrival.
+            self.network.metrics.record_fault("msg.to_crashed_mss")
+            return
+        super().handle_message(message)
 
     # ------------------------------------------------------------------
     # Protocol attachment points

@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.metrics.cost import CostModel
 
@@ -47,6 +47,12 @@ class MetricsSnapshot:
     counts: Dict[tuple, int]
     energy_tx: Dict[str, int]
     energy_rx: Dict[str, int]
+    #: fault/recovery event counts (drops, retransmits, crashes, ...),
+    #: keyed by event name; empty in fault-free runs.
+    faults: Dict[str, int] = field(default_factory=dict)
+    #: one entry per completed MSS-crash recovery: simulated time from
+    #: the crash until the last orphaned MH re-registered.
+    recovery_times: Tuple[float, ...] = ()
 
     def total(self, category: Category, scope: Optional[str] = None) -> int:
         """Total count for ``category`` (optionally restricted to scope)."""
@@ -65,6 +71,12 @@ class MetricsSnapshot:
         if mh_id is not None:
             return self.energy_tx.get(mh_id, 0) + self.energy_rx.get(mh_id, 0)
         return sum(self.energy_tx.values()) + sum(self.energy_rx.values())
+
+    def fault_total(self, name: Optional[str] = None) -> int:
+        """Count of fault events named ``name`` (or all fault events)."""
+        if name is not None:
+            return self.faults.get(name, 0)
+        return sum(self.faults.values())
 
     def cost(
         self, model: CostModel, scope: Optional[str] = None
@@ -90,10 +102,16 @@ class MetricsSnapshot:
         tx.subtract(Counter(earlier.energy_tx))
         rx = Counter(self.energy_rx)
         rx.subtract(Counter(earlier.energy_rx))
+        faults = Counter(self.faults)
+        faults.subtract(Counter(earlier.faults))
         return MetricsSnapshot(
             counts={k: v for k, v in counts.items() if v},
             energy_tx={k: v for k, v in tx.items() if v},
             energy_rx={k: v for k, v in rx.items() if v},
+            faults={k: v for k, v in faults.items() if v},
+            recovery_times=self.recovery_times[
+                len(earlier.recovery_times):
+            ],
         )
 
 
@@ -104,6 +122,8 @@ class MetricsCollector:
     _counts: Counter = field(default_factory=Counter)
     _energy_tx: Counter = field(default_factory=Counter)
     _energy_rx: Counter = field(default_factory=Counter)
+    _faults: Counter = field(default_factory=Counter)
+    _recovery_times: List[float] = field(default_factory=list)
 
     def record_fixed(self, scope: str = DEFAULT_SCOPE, count: int = 1) -> None:
         """Record ``count`` fixed-network messages under ``scope``."""
@@ -133,6 +153,26 @@ class MetricsCollector:
         """Record ``count`` concrete probe messages of a measured search."""
         self._counts[(Category.SEARCH_PROBE, scope)] += count
 
+    def record_fault(self, name: str, count: int = 1) -> None:
+        """Record ``count`` fault/recovery events named ``name``.
+
+        Names are dotted, namespaced by subsystem: ``"fixed.dropped"``,
+        ``"rel.retransmit"``, ``"mss.crash"``, ``"mh.orphaned"``,
+        ``"r2.token_regenerated"``, ...  Fault events carry no cost in
+        the paper's currency; the *recovery traffic* they provoke is
+        recorded through the ordinary categories.
+        """
+        self._faults[name] += count
+
+    def record_recovery_time(self, duration: float) -> None:
+        """Record the time one MSS-crash recovery took (crash until the
+        last orphaned MH re-registered)."""
+        self._recovery_times.append(duration)
+
+    def fault_total(self, name: Optional[str] = None) -> int:
+        """Count of fault events named ``name`` (or all fault events)."""
+        return self.snapshot().fault_total(name)
+
     def total(self, category: Category, scope: Optional[str] = None) -> int:
         """Current count for ``category`` (optionally within ``scope``)."""
         return self.snapshot().total(category, scope)
@@ -151,6 +191,8 @@ class MetricsCollector:
             counts=dict(self._counts),
             energy_tx=dict(self._energy_tx),
             energy_rx=dict(self._energy_rx),
+            faults=dict(self._faults),
+            recovery_times=tuple(self._recovery_times),
         )
 
     def since(self, earlier: MetricsSnapshot) -> MetricsSnapshot:
@@ -162,6 +204,8 @@ class MetricsCollector:
         self._counts.clear()
         self._energy_tx.clear()
         self._energy_rx.clear()
+        self._faults.clear()
+        self._recovery_times.clear()
 
     def report(self, model: Optional[CostModel] = None) -> Dict[str, object]:
         """A plain-dict summary suitable for printing or JSON dumping."""
@@ -178,6 +222,15 @@ class MetricsCollector:
             "by_scope": dict(by_scope),
             "energy_total": snap.energy(),
         }
+        if snap.faults:
+            result["faults"] = dict(sorted(snap.faults.items()))
+        if snap.recovery_times:
+            times = snap.recovery_times
+            result["recovery"] = {
+                "count": len(times),
+                "mean": sum(times) / len(times),
+                "max": max(times),
+            }
         if model is not None:
             result["cost_total"] = snap.cost(model)
             result["cost_by_scope"] = {

@@ -78,6 +78,32 @@ def bar_chart(
     return "\n".join(lines)
 
 
+def fault_summary(snapshot, width: int = 40) -> str:
+    """Render a :class:`MetricsSnapshot`'s fault counters as bars.
+
+    Includes a recovery-time summary line when the snapshot recorded
+    completed MSS-crash recoveries.  Returns ``""`` for fault-free
+    snapshots, so callers can print unconditionally.
+    """
+    parts = []
+    if snapshot.faults:
+        parts.append(
+            bar_chart(
+                {name: float(count) for name, count in
+                 snapshot.faults.items()},
+                width=width,
+            )
+        )
+    times = snapshot.recovery_times
+    if times:
+        parts.append(
+            f"recoveries: {len(times)}  "
+            f"mean {sum(times) / len(times):.2f}  "
+            f"max {max(times):.2f}"
+        )
+    return "\n".join(parts)
+
+
 def cost_sparklines(
     timeline_collector,
     cost_model,

@@ -31,6 +31,24 @@ Disconnection: if the token reaches the cell where a requester
 disconnected, that MSS observes the disconnected flag and returns the
 token to the sender (one fixed message); service continues with the next
 grant-queue entry -- the rest of the system is unaffected.
+
+Fault tolerance (beyond the paper): when a fault injector is installed
+on the network (or ``fault_tolerant=True`` is forced), the ring also
+survives MSS crashes and token loss:
+
+* forwarding skips crashed successors;
+* a watchdog regenerates the token when the ring has been silent for
+  ``token_timeout`` -- the first alive MSS in ring order acts as
+  election leader and injects a fresh token tagged with a bumped
+  *epoch*; stale tokens, grants and returns from the previous epoch
+  are discarded on arrival, so regeneration can never double-grant;
+* requests lost with a crashed station (and grants refused as stale)
+  are resubmitted once their MH is connected again;
+* completions are recorded at the MH side, so a return message dying
+  with a crashing station does not lose the access.
+
+All of this is inert by default: without an injector the algorithm's
+message pattern is byte-identical to the paper's.
 """
 
 from __future__ import annotations
@@ -72,6 +90,7 @@ class RingGrantPayload:
     mh_id: str
     grantor_mss_id: str
     token_val: int
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -80,6 +99,7 @@ class RingReturnPayload:
 
     mh_id: str
     grantor_mss_id: str
+    epoch: int = 0
 
 
 @dataclass
@@ -100,6 +120,11 @@ class R2Mutex:
         scope: metrics scope for all traffic of this instance.
         max_traversals: stop circulating after this many traversals.
         on_complete: optional callback ``(mh_id)`` per satisfied access.
+        fault_tolerant: enable crash/token-loss handling.  Defaults to
+            whether the network has a fault injector installed, so
+            fault-free runs keep the paper's exact message pattern.
+        token_timeout: ring silence (no token arrival anywhere) after
+            which the watchdog declares the token lost and regenerates.
     """
 
     def __init__(
@@ -111,20 +136,38 @@ class R2Mutex:
         scope: str = "R2",
         max_traversals: Optional[int] = None,
         on_complete: Optional[Callable[[str], None]] = None,
+        fault_tolerant: Optional[bool] = None,
+        token_timeout: float = 50.0,
     ) -> None:
         self.network = network
         self.mss_ids = network.mss_ids()
         if len(self.mss_ids) < 2:
             raise ConfigurationError("R2 needs at least two MSSs")
+        if token_timeout <= 0:
+            raise ConfigurationError("token_timeout must be positive")
         self.resource = resource
         self.cs_duration = cs_duration
         self.variant = variant
         self.scope = scope
         self.max_traversals = max_traversals
         self.on_complete = on_complete
+        self.fault_tolerant = (
+            fault_tolerant
+            if fault_tolerant is not None
+            else network.faults is not None
+        )
+        self.token_timeout = token_timeout
         self.completed: List[Tuple[float, str]] = []
         self.skipped_disconnected: List[str] = []
         self.finished = False
+        self.regenerations = 0
+        self._epoch = 0
+        self._token_last_seen = 0.0
+        self._last_token_val = 1
+        self._last_traversals = 0
+        #: mh_id -> MSS where its unserved request was submitted.
+        self._outstanding_req: Dict[str, str] = {}
+        self._resubmit_pending: set = set()
         self._nodes: Dict[str, RingNode] = {}
         self._request_queues: Dict[str, List[_PendingRequest]] = {}
         self._grant_queues: Dict[str, List[_PendingRequest]] = {}
@@ -138,6 +181,8 @@ class R2Mutex:
         self._clients: Dict[str, bool] = {}
         for mss_id in self.mss_ids:
             self._attach_mss(mss_id)
+        if self.fault_tolerant and network.faults is not None:
+            network.faults.add_crash_listener(self._on_mss_crash)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -148,9 +193,9 @@ class R2Mutex:
         node = RingNode(
             node_id=mss_id,
             ring_order=self.mss_ids,
-            send=lambda dst, kind, token, m=mss_id: self.network.mss(
-                m
-            ).send_fixed(dst, kind, token, self.scope),
+            send=lambda dst, kind, token, m=mss_id: self._ring_send(
+                m, dst, kind, token
+            ),
             kind_prefix=self.scope,
             on_token=lambda token, forward, m=mss_id: self._on_token(
                 m, token, forward
@@ -161,7 +206,7 @@ class R2Mutex:
         self._grant_queues[mss_id] = []
         mss.register_handler(
             f"{self.scope}.token",
-            lambda msg, n=node: n.handle_token(msg.payload),
+            lambda msg, n=node: self._handle_token_msg(n, msg),
         )
         mss.register_handler(f"{self.scope}.request", self._on_request)
         mss.register_handler(f"{self.scope}.return", self._on_return)
@@ -189,6 +234,9 @@ class R2Mutex:
         0) are eligible during the very first traversal of R2'.
         """
         self._nodes[self.mss_ids[0]].inject_token(Token(token_val=1))
+        if self.fault_tolerant:
+            self._token_last_seen = self.network.scheduler.now
+            self._schedule_watchdog()
 
     def request(self, mh_id: str) -> None:
         """Have ``mh_id`` ask its local MSS for the token."""
@@ -202,6 +250,8 @@ class R2Mutex:
             RingRequestPayload(mh_id, reported),
             self.scope,
         )
+        if self.fault_tolerant:
+            self._outstanding_req[mh_id] = mh.current_mss_id
 
     def node(self, mss_id: str) -> RingNode:
         """The ring node at ``mss_id`` (for tests)."""
@@ -221,12 +271,70 @@ class R2Mutex:
             _PendingRequest(payload.mh_id, payload.access_count)
         )
 
+    def _handle_token_msg(self, node: RingNode, message: Message) -> None:
+        token: Token = message.payload
+        if self.fault_tolerant:
+            if token.epoch < self._epoch:
+                # A survivor of a pre-regeneration epoch resurfaced
+                # (delayed or retransmitted): discard it, there is
+                # exactly one live token per epoch.
+                self.network.metrics.record_fault("r2.stale_token")
+                return
+            if node.has_token:
+                # Duplicated on an unreliable wire; the copy is dropped.
+                self.network.metrics.record_fault("r2.duplicate_token")
+                return
+        node.handle_token(token)
+
+    def _ring_send(
+        self, src_mss_id: str, dst_mss_id: str, kind: str, token: Token
+    ) -> None:
+        if self.fault_tolerant:
+            ids = self.mss_ids
+            start = ids.index(dst_mss_id)
+            for offset in range(len(ids)):
+                candidate = ids[(start + offset) % len(ids)]
+                if not self.network.mss(candidate).crashed:
+                    if candidate != dst_mss_id:
+                        self.network.metrics.record_fault("r2.ring_skip")
+                    dst_mss_id = candidate
+                    break
+            else:
+                # Every station is down; the token vanishes here and the
+                # watchdog regenerates once stations return.
+                self.network.metrics.record_fault("r2.token_dropped")
+                return
+        self.network.mss(src_mss_id).send_fixed(
+            dst_mss_id, kind, token, self.scope
+        )
+
+    def _first_alive(self) -> Optional[str]:
+        for mss_id in self.mss_ids:
+            if not self.network.mss(mss_id).crashed:
+                return mss_id
+        return None
+
     def _on_token(
         self, mss_id: str, token: Token, forward: Callable[[], None]
     ) -> None:
+        node = self._nodes[mss_id]
+        acting_head = False
+        if self.fault_tolerant:
+            self._token_last_seen = self.network.scheduler.now
+            if not node.is_head and self.network.mss(
+                self.mss_ids[0]
+            ).crashed:
+                # The real head is down, so nobody advanced the
+                # traversal counter; the first alive MSS stands in.
+                acting_head = mss_id == self._first_alive()
+                if acting_head:
+                    token.traversals += 1
+                    token.token_val += 1
+            self._last_token_val = token.token_val
+            self._last_traversals = token.traversals
         if (
             self.max_traversals is not None
-            and self._nodes[mss_id].is_head
+            and (node.is_head or acting_head)
             and token.traversals >= self.max_traversals
         ):
             self.finished = True
@@ -260,6 +368,11 @@ class R2Mutex:
         return request.mh_id not in served
 
     def _service_next(self, mss_id: str) -> None:
+        if mss_id not in self._tokens:
+            # Fault-tolerant runs only: the token this service loop was
+            # working through was lost to a crash or regeneration while
+            # a grant/return callback was in flight.
+            return
         grant_queue = self._grant_queues[mss_id]
         token = self._tokens[mss_id]
         if not grant_queue:
@@ -271,7 +384,9 @@ class R2Mutex:
         self.network.mss(mss_id).send_to_mh(
             request.mh_id,
             f"{self.scope}.grant",
-            RingGrantPayload(request.mh_id, mss_id, token.token_val),
+            RingGrantPayload(
+                request.mh_id, mss_id, token.token_val, token.epoch
+            ),
             self.scope,
             on_disconnected=lambda outcome, m=mss_id, r=request: (
                 self._on_requester_disconnected(m, r, outcome)
@@ -285,14 +400,33 @@ class R2Mutex:
         # the token to the sending MSS (one fixed message), and service
         # continues with the next entry.
         self.network.metrics.record_fixed(self.scope)
-        self.skipped_disconnected.append(request.mh_id)
+        if self.fault_tolerant:
+            # The requester is gone for now (orphaned, disconnected, or
+            # unreachable past the delivery cap) -- hold the request and
+            # resubmit it once the MH is attached again.
+            self.network.metrics.record_fault("r2.grant_deferred")
+            self._resubmit(request.mh_id)
+        else:
+            self.skipped_disconnected.append(request.mh_id)
         self._service_next(mss_id)
 
     def _on_return(self, message: Message) -> None:
         payload: RingReturnPayload = message.payload
         current_mss_id = message.dst
+        if self.fault_tolerant and payload.epoch < self._epoch:
+            # Return from a pre-regeneration grant: the access itself
+            # was already recorded at the MH; the token it would free
+            # no longer exists.
+            self.network.metrics.record_fault("r2.stale_return")
+            return
         if payload.grantor_mss_id == current_mss_id:
             self._finish_access(current_mss_id, payload.mh_id)
+        elif self.fault_tolerant and self.network.mss(
+            payload.grantor_mss_id
+        ).crashed:
+            # Nobody to hand the token back to: it died with the
+            # grantor, and the watchdog will regenerate it.
+            self.network.metrics.record_fault("r2.return_to_crashed")
         else:
             self.network.mss(current_mss_id).send_fixed(
                 payload.grantor_mss_id,
@@ -303,19 +437,144 @@ class R2Mutex:
 
     def _on_return_fwd(self, message: Message) -> None:
         payload: RingReturnPayload = message.payload
+        if self.fault_tolerant and payload.epoch < self._epoch:
+            self.network.metrics.record_fault("r2.stale_return")
+            return
         self._finish_access(message.dst, payload.mh_id)
 
     def _finish_access(self, mss_id: str, mh_id: str) -> None:
         if mss_id not in self._tokens:
+            if self.fault_tolerant:
+                # The return outlived the token (crash or regeneration
+                # in between); the completion was already recorded at
+                # the MH side.
+                self.network.metrics.record_fault("r2.orphan_return")
+                return
             raise ProtocolError(
                 f"{mss_id} received a token return while not holding it"
             )
         if self.variant is R2Variant.TOKEN_LIST:
             self._tokens[mss_id].token_list.append((mss_id, mh_id))
-        self.completed.append((self.network.scheduler.now, mh_id))
-        if self.on_complete is not None:
-            self.on_complete(mh_id)
+        if not self.fault_tolerant:
+            # Fault-tolerant runs record the completion at the MH when
+            # it leaves the region, so a return message dying with a
+            # crashing MSS cannot lose the access.
+            self.completed.append((self.network.scheduler.now, mh_id))
+            if self.on_complete is not None:
+                self.on_complete(mh_id)
         self._service_next(mss_id)
+
+    # ------------------------------------------------------------------
+    # Fault tolerance: crash handling, token regeneration, resubmission
+    # ------------------------------------------------------------------
+
+    def _on_mss_crash(self, mss_id: str) -> None:
+        if not self.fault_tolerant or self.finished:
+            return
+        held_token = mss_id in self._tokens
+        lost = self._request_queues[mss_id] + self._grant_queues[mss_id]
+        self._request_queues[mss_id] = []
+        self._grant_queues[mss_id] = []
+        self._tokens.pop(mss_id, None)
+        self._forward_fns.pop(mss_id, None)
+        self._nodes[mss_id].reset()
+        for request in lost:
+            self.network.metrics.record_fault("r2.request_lost_in_crash")
+            self._resubmit(request.mh_id)
+        # Requests submitted at this MSS whose uplink was still in
+        # flight never made it into any queue; resubmit those too.
+        for mh_id, at_mss in list(self._outstanding_req.items()):
+            if at_mss == mss_id:
+                self._resubmit(mh_id)
+        if held_token:
+            # The token died with the station.  Give any in-flight
+            # grantee time to finish, then regenerate (the watchdog is
+            # the backstop if this check itself is not conclusive).
+            self.network.scheduler.schedule(
+                max(2 * self.cs_duration, 5.0),
+                self._regen_if_stale,
+                self._token_last_seen,
+            )
+
+    def _schedule_watchdog(self) -> None:
+        self.network.scheduler.schedule(
+            self.token_timeout / 2, self._check_token
+        )
+
+    def _check_token(self) -> None:
+        if self.finished:
+            return
+        now = self.network.scheduler.now
+        if now - self._token_last_seen > self.token_timeout:
+            self._regenerate()
+        self._schedule_watchdog()
+
+    def _regen_if_stale(self, last_seen: float) -> None:
+        if self.finished or self._token_last_seen != last_seen:
+            return
+        self._regenerate()
+
+    def _regenerate(self) -> None:
+        leader = self._first_alive()
+        if leader is None:
+            return  # every station is down; the watchdog retries later
+        if self.resource.holder is not None:
+            # Someone is inside the region on a still-valid grant; its
+            # return may yet free a live token.  The watchdog retries.
+            return
+        self._epoch += 1
+        self.regenerations += 1
+        self.network.metrics.record_fault("r2.token_regenerated")
+        alive = [
+            m for m in self.mss_ids if not self.network.mss(m).crashed
+        ]
+        # Election and announcement traffic among the survivors: the
+        # leader hears from / informs each other alive station once.
+        if len(alive) > 1:
+            self.network.metrics.record_fixed(
+                self.scope, count=len(alive) - 1
+            )
+        for node in self._nodes.values():
+            node.reset()
+        for mss_id in self.mss_ids:
+            # Grants that were queued but never sent go back to the
+            # request queue for the next traversal.
+            self._request_queues[mss_id].extend(self._grant_queues[mss_id])
+            self._grant_queues[mss_id] = []
+        self._tokens.clear()
+        self._forward_fns.clear()
+        self._token_last_seen = self.network.scheduler.now
+        self._nodes[leader].inject_token(
+            Token(
+                token_val=self._last_token_val + 1,
+                traversals=self._last_traversals,
+                epoch=self._epoch,
+            )
+        )
+
+    def _resubmit(self, mh_id: str) -> None:
+        if self.finished or mh_id in self._resubmit_pending:
+            return
+        self._resubmit_pending.add(mh_id)
+        self._try_resubmit(mh_id)
+
+    def _try_resubmit(self, mh_id: str) -> None:
+        if mh_id not in self._resubmit_pending:
+            return  # satisfied by an in-flight grant meanwhile
+        if self.finished:
+            self._resubmit_pending.discard(mh_id)
+            return
+        mh = self.network.mobile_host(mh_id)
+        if mh.is_connected and not self.network.mss(
+            mh.current_mss_id
+        ).crashed:
+            self._resubmit_pending.discard(mh_id)
+            self.network.metrics.record_fault("r2.request_resubmitted")
+            self.request(mh_id)
+            return
+        # Not attached yet (in transit, disconnected, or orphaned by a
+        # crash): poll until it comes back.
+        self.network.scheduler.schedule(2.0, self._try_resubmit, mh_id)
 
     # ------------------------------------------------------------------
     # MH side
@@ -323,6 +582,13 @@ class R2Mutex:
 
     def _on_grant(self, message: Message) -> None:
         grant: RingGrantPayload = message.payload
+        if self.fault_tolerant and grant.epoch < self._epoch:
+            # The grantor's epoch died (crash + regeneration) while this
+            # grant was in flight; honoring it could overlap with a
+            # grant from the live token.  Refuse and ask again.
+            self.network.metrics.record_fault("r2.stale_grant")
+            self._resubmit(grant.mh_id)
+            return
         # R2': on receiving the token the MH adopts the current
         # token_val as its access_count.
         self.access_counts[grant.mh_id] = grant.token_val
@@ -340,6 +606,17 @@ class R2Mutex:
 
     def _exit_region(self, grant: RingGrantPayload) -> None:
         self.resource.leave(grant.mh_id)
+        if self.fault_tolerant:
+            # Record the completion here, at the MH: the access has
+            # happened even if the return message later dies with a
+            # crashing station.
+            self._outstanding_req.pop(grant.mh_id, None)
+            self._resubmit_pending.discard(grant.mh_id)
+            self.completed.append(
+                (self.network.scheduler.now, grant.mh_id)
+            )
+            if self.on_complete is not None:
+                self.on_complete(grant.mh_id)
         mh = self.network.mobile_host(grant.mh_id)
         if mh.is_connected:
             self._send_return(grant)
@@ -359,6 +636,8 @@ class R2Mutex:
         mh = self.network.mobile_host(grant.mh_id)
         mh.send_to_mss(
             f"{self.scope}.return",
-            RingReturnPayload(grant.mh_id, grant.grantor_mss_id),
+            RingReturnPayload(
+                grant.mh_id, grant.grantor_mss_id, grant.epoch
+            ),
             self.scope,
         )

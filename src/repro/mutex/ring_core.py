@@ -27,6 +27,10 @@ class Token:
     token_list: List[Tuple[str, str]] = field(default_factory=list)
     traversals: int = 0
     hops: int = 0
+    #: regeneration epoch (fault-tolerant rings only).  A token whose
+    #: epoch lags the protocol's current epoch is a stale survivor of a
+    #: crash and is discarded on arrival.
+    epoch: int = 0
 
 
 class RingNode:
@@ -87,6 +91,10 @@ class RingNode:
     def inject_token(self, token: Token) -> None:
         """Create the token at this member (simulation setup)."""
         self._receive(token, initial=True)
+
+    def reset(self) -> None:
+        """Forget any held token (crash recovery / regeneration)."""
+        self._has_token = False
 
     def handle_token(self, token: Token) -> None:
         """Wire this to the host's dispatcher for the token kind."""

@@ -22,6 +22,7 @@ from repro.net.latency import ConstantLatency, UniformLatency
 from repro.net.messages import Message
 from repro.net.network import Network
 from repro.net.regional_search import RegionalSearch
+from repro.net.reliable import ReliableTransport
 from repro.net.search import (
     AbstractSearch,
     BroadcastSearch,
@@ -38,6 +39,7 @@ __all__ = [
     "Network",
     "NetworkConfig",
     "RegionalSearch",
+    "ReliableTransport",
     "SearchOutcome",
     "SearchProtocol",
     "UniformLatency",

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 import random
 
 from repro.errors import ConfigurationError
@@ -25,6 +25,11 @@ class NetworkConfig:
         search_delay: time an abstract search takes to complete.
         search_retry_delay: how long a search waits before re-examining a
             MH that is currently in transit.
+        mh_delivery_max_attempts: delivery attempts (searches plus
+            wireless hops) :meth:`Network.send_to_mh` makes before giving
+            up and reporting the outcome through ``on_disconnected`` with
+            ``gave_up=True``.  ``None`` restores the paper's unbounded
+            eventual-delivery retry loop.
     """
 
     fixed_latency: LatencyModel = field(
@@ -36,8 +41,16 @@ class NetworkConfig:
     transit_time: float = 2.0
     search_delay: float = 1.0
     search_retry_delay: float = 1.0
+    mh_delivery_max_attempts: Optional[int] = 25
 
     def __post_init__(self) -> None:
+        if (
+            self.mh_delivery_max_attempts is not None
+            and self.mh_delivery_max_attempts < 1
+        ):
+            raise ConfigurationError(
+                "mh_delivery_max_attempts must be >= 1 (or None)"
+            )
         if self.transit_time < 0:
             raise ConfigurationError("transit_time must be nonnegative")
         if self.search_delay < 0:

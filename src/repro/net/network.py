@@ -25,8 +25,10 @@ from repro.net.search import AbstractSearch, SearchOutcome, SearchProtocol
 from repro.sim import Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
     from repro.hosts.mh import MobileHost
     from repro.hosts.mss import MobileSupportStation
+    from repro.net.reliable import ReliableTransport
 
 DeliveredCallback = Callable[[Message], None]
 DisconnectedCallback = Callable[[SearchOutcome], None]
@@ -66,6 +68,10 @@ class Network:
         # Downlink sequence counters per (mss, mh), reset on each join.
         self._downlink_seq: Dict[Tuple[str, str], int] = {}
         self.lost_wireless_messages = 0
+        #: fault injector; ``None`` keeps the paper's reliable model.
+        self.faults: Optional["FaultInjector"] = None
+        #: reliable-delivery layer wrapping :meth:`send_fixed`.
+        self.reliable: Optional["ReliableTransport"] = None
 
     # ------------------------------------------------------------------
     # Registration and lookup
@@ -76,6 +82,8 @@ class Network:
         if mss.host_id in self._mss:
             raise SimulationError(f"duplicate MSS id: {mss.host_id}")
         self._mss[mss.host_id] = mss
+        if self.reliable is not None:
+            self.reliable.attach(mss)
 
     def register_mh(self, mh: "MobileHost") -> None:
         """Add a mobile host to the system."""
@@ -114,6 +122,47 @@ class Network:
         self.search_protocol.on_mh_joined(self, mh_id, mss_id)
 
     # ------------------------------------------------------------------
+    # Fault injection and reliable delivery (both optional)
+    # ------------------------------------------------------------------
+
+    def install_faults(self, injector: "FaultInjector") -> None:
+        """Install a bound-once fault injector on this network."""
+        if self.faults is not None:
+            raise SimulationError("fault injector already installed")
+        self.faults = injector
+        injector.bind(self)
+
+    def install_reliable(self, **kwargs: object) -> "ReliableTransport":
+        """Install the reliable-delivery layer over the fixed network.
+
+        Keyword arguments are forwarded to
+        :class:`~repro.net.reliable.ReliableTransport` (``timeout``,
+        ``backoff``, ``max_retries``).
+        """
+        from repro.net.reliable import ReliableTransport
+
+        if self.reliable is not None:
+            raise SimulationError("reliable transport already installed")
+        self.reliable = ReliableTransport(self, **kwargs)
+        self.reliable.install()
+        return self.reliable
+
+    def is_mss_crashed(self, mss_id: str) -> bool:
+        """Whether ``mss_id`` is currently down (always False fault-free)."""
+        return self.mss(mss_id).crashed
+
+    def next_alive_mss(self, start_id: str) -> Optional[str]:
+        """The first non-crashed MSS at or after ``start_id`` in
+        registration order (wrapping), or ``None`` if all are down."""
+        ids = self.mss_ids()
+        start = ids.index(start_id)
+        for offset in range(len(ids)):
+            candidate = ids[(start + offset) % len(ids)]
+            if not self.mss(candidate).crashed:
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
     # Fixed network (MSS <-> MSS): reliable, sequenced, arbitrary latency
     # ------------------------------------------------------------------
 
@@ -121,19 +170,58 @@ class Network:
         """Send ``message`` between two MSSs over the static network.
 
         A message a MSS sends to itself is delivered locally after zero
-        delay and is not a network message (no cost recorded).
+        delay and is not a network message (no cost recorded).  When a
+        reliable transport is installed, inter-MSS messages are wrapped
+        in its sequenced envelopes (the transport's own envelopes pass
+        through raw).
         """
         dst = self.mss(message.dst)
         if message.src == message.dst:
             self.scheduler.schedule(0.0, dst.handle_message, message)
             return
         self.mss(message.src)  # validate the source exists
+        if self.reliable is not None and not message.kind.startswith("rel."):
+            self.reliable.send(message)
+            return
+        self._send_fixed_raw(message)
+
+    def _send_fixed_raw(self, message: Message) -> None:
+        """One physical transmission attempt on the fixed network.
+
+        Records the cost, then consults the fault injector: the message
+        may be dropped (source crashed, partition, lossy link), delayed,
+        or duplicated.  Without an injector this is the paper's reliable
+        sequenced channel.
+        """
+        dst = self.mss(message.dst)
         self.metrics.record_fixed(message.scope)
+        if self.mss(message.src).crashed:
+            # A crashed station transmits nothing; the message (already
+            # charged) vanishes on the wire.
+            self.metrics.record_fault("fixed.dropped_src_crashed")
+            return
+        extra_delay = 0.0
+        duplicates = 0
+        if self.faults is not None:
+            decision = self.faults.decide_fixed(message)
+            if decision.drop:
+                self.metrics.record_fault(decision.reason)
+                return
+            extra_delay = decision.extra_delay
+            duplicates = decision.duplicates
         arrival = self._fifo_arrival(
             (message.src, message.dst),
-            self.config.fixed_latency(self.rng),
+            self.config.fixed_latency(self.rng) + extra_delay,
         )
         self.scheduler.schedule_at(arrival, dst.handle_message, message)
+        for _ in range(duplicates):
+            # A duplicate is a spurious extra copy on the wire; it does
+            # not advance the channel's FIFO frontier.
+            self.scheduler.schedule(
+                self.config.fixed_latency(self.rng) + extra_delay,
+                dst.handle_message,
+                message,
+            )
 
     # ------------------------------------------------------------------
     # Wireless cell (MSS <-> local MH): FIFO, prefix-loss on leave
@@ -158,6 +246,14 @@ class Network:
         """
         mss = self.mss(mss_id)
         mh = self.mobile_host(mh_id)
+        if mss.crashed:
+            # A crashed station has no working transmitter; the message
+            # is lost on the spot (no cost: nothing was transmitted).
+            self.lost_wireless_messages += 1
+            self.metrics.record_fault("wireless.dropped_src_crashed")
+            if on_lost is not None:
+                on_lost(message)
+            return
         if mh_id not in mss.local_mhs:
             raise NotConnectedError(
                 f"{mh_id} is not local to {mss_id}; use send_to_mh"
@@ -237,6 +333,7 @@ class Network:
         message: Message,
         on_delivered: Optional[DeliveredCallback] = None,
         on_disconnected: Optional[DisconnectedCallback] = None,
+        _attempts: int = 1,
     ) -> None:
         """Deliver ``message`` to ``mh_id``, wherever it currently is.
 
@@ -247,7 +344,25 @@ class Network:
         is retried with a fresh search.  If the MH has disconnected,
         ``on_disconnected`` fires at the source with the outcome (the
         notification from the disconnect-cell MSS), matching Section 2.
+
+        The retry loop is bounded by
+        ``config.mh_delivery_max_attempts``: past the cap, delivery is
+        abandoned and ``on_disconnected`` fires with ``gave_up=True``.
         """
+        cap = self.config.mh_delivery_max_attempts
+        if cap is not None and _attempts > cap:
+            self.metrics.record_fault("send_to_mh.gave_up")
+            if on_disconnected is not None:
+                on_disconnected(
+                    SearchOutcome(
+                        mh_id=mh_id,
+                        mss_id=src_mss_id,
+                        disconnected=True,
+                        probes=0,
+                        gave_up=True,
+                    )
+                )
+            return
         src = self.mss(src_mss_id)
         if mh_id in src.local_mhs:
             self.send_wireless_down(
@@ -255,7 +370,8 @@ class Network:
                 mh_id,
                 message,
                 on_lost=lambda msg: self.send_to_mh(
-                    src_mss_id, mh_id, msg, on_delivered, on_disconnected
+                    src_mss_id, mh_id, msg, on_delivered, on_disconnected,
+                    _attempts + 1,
                 ),
                 on_delivered=on_delivered,
             )
@@ -288,6 +404,7 @@ class Network:
                     message,
                     on_delivered,
                     on_disconnected,
+                    _attempts + 1,
                 )
                 return
             self.send_wireless_down(
@@ -295,7 +412,8 @@ class Network:
                 mh_id,
                 message,
                 on_lost=lambda msg: self.send_to_mh(
-                    dst_mss_id, mh_id, msg, on_delivered, on_disconnected
+                    dst_mss_id, mh_id, msg, on_delivered, on_disconnected,
+                    _attempts + 1,
                 ),
                 on_delivered=on_delivered,
             )

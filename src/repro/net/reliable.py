@@ -1,0 +1,235 @@
+"""Reliable FIFO-exactly-once delivery over lossy fixed links.
+
+The paper *assumes* a reliable, sequenced fixed network; once a
+:class:`~repro.faults.FaultInjector` makes links lossy, this layer
+recovers the assumption so every algorithm above it keeps its
+correctness proof:
+
+* per directed MSS pair, data messages carry monotonically increasing
+  sequence numbers;
+* the receiver acks every data message it sees, suppresses duplicates,
+  buffers out-of-order arrivals, and releases messages to the host
+  strictly in sequence order (restoring FIFO);
+* the sender retransmits unacked messages on a timer with exponential
+  backoff, up to a retry cap;
+* a message that exhausts its retries is given up (e.g. the destination
+  crashed for good); data envelopes advertise the sender's lowest seq
+  that may still arrive, so the receiver can skip permanent gaps instead
+  of stalling the channel head-of-line forever.
+
+The layer is transparent: :meth:`Network.send_fixed` routes through it
+automatically once installed, so protocols and benchmarks run unchanged.
+Every physical transmission -- originals, retransmits and acks -- is
+accounted in the metrics under the wrapped message's scope, which is how
+``bench_a8_fault_recovery`` prices recovery in the paper's currency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.net.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hosts.mss import MobileSupportStation
+    from repro.net.network import Network
+    from repro.sim.scheduler import Event
+
+KIND_DATA = "rel.data"
+KIND_ACK = "rel.ack"
+
+
+@dataclass(frozen=True)
+class RelData:
+    """Payload of a reliable data envelope."""
+
+    seq: int
+    #: lowest sequence number the sender may still (re)transmit on this
+    #: channel; everything below is either acked or given up, so the
+    #: receiver can release buffered messages past a permanent gap.
+    floor: int
+    inner: Message
+
+
+@dataclass(frozen=True)
+class RelAck:
+    """Payload of a reliable ack envelope."""
+
+    seq: int
+
+
+@dataclass
+class _TxChannel:
+    next_seq: int = 1
+    #: seq -> (envelope, retransmit timer event, attempts so far)
+    unacked: Dict[int, Tuple[Message, "Event", int]] = field(
+        default_factory=dict
+    )
+    given_up: int = 0
+
+
+@dataclass
+class _RxChannel:
+    next_expected: int = 1
+    buffered: Dict[int, Message] = field(default_factory=dict)
+
+
+class ReliableTransport:
+    """Per-link sequencing, acks, retransmission and dedup for MSS pairs.
+
+    Args:
+        network: the network to wrap.
+        timeout: initial retransmit timer (should exceed one round trip).
+        backoff: multiplicative backoff factor applied per retry.
+        max_retries: retransmissions allowed before giving a message up.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        timeout: float = 4.0,
+        backoff: float = 1.5,
+        max_retries: int = 10,
+    ) -> None:
+        if timeout <= 0:
+            raise SimulationError("retransmit timeout must be positive")
+        if backoff < 1.0:
+            raise SimulationError("backoff factor must be >= 1")
+        self.network = network
+        self.timeout = timeout
+        self.backoff = backoff
+        self.max_retries = max_retries
+        self.retransmits = 0
+        self.duplicates_suppressed = 0
+        self.gave_up = 0
+        self.gaps_skipped = 0
+        self._tx: Dict[Tuple[str, str], _TxChannel] = {}
+        self._rx: Dict[Tuple[str, str], _RxChannel] = {}
+        self._attached: set = set()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def install(self) -> None:
+        """Attach receive handlers to every registered MSS."""
+        for mss_id in self.network.mss_ids():
+            self.attach(self.network.mss(mss_id))
+
+    def attach(self, mss: "MobileSupportStation") -> None:
+        """Attach receive handlers to one MSS (idempotent)."""
+        if mss.host_id in self._attached:
+            return
+        self._attached.add(mss.host_id)
+        mss.register_handler(KIND_DATA, self._on_data)
+        mss.register_handler(KIND_ACK, self._on_ack)
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Send ``message`` between two MSSs with reliable FIFO delivery."""
+        channel = (message.src, message.dst)
+        tx = self._tx.setdefault(channel, _TxChannel())
+        seq = tx.next_seq
+        tx.next_seq += 1
+        self._transmit(channel, seq, message, attempt=0)
+
+    def _transmit(
+        self,
+        channel: Tuple[str, str],
+        seq: int,
+        inner: Message,
+        attempt: int,
+    ) -> None:
+        src, dst = channel
+        tx = self._tx[channel]
+        if attempt > 0:
+            self.retransmits += 1
+            self.network.metrics.record_fault("rel.retransmit")
+        # Floor = lowest seq that may still arrive on this channel --
+        # everything unacked including the message going out right now.
+        floor = min(min(tx.unacked), seq) if tx.unacked else seq
+        envelope = Message(
+            kind=KIND_DATA,
+            src=src,
+            dst=dst,
+            payload=RelData(seq=seq, floor=floor, inner=inner),
+            scope=inner.scope,
+        )
+        delay = self.timeout * (self.backoff ** attempt)
+        timer = self.network.scheduler.schedule(
+            delay, self._on_timeout, channel, seq
+        )
+        tx.unacked[seq] = (envelope, timer, attempt)
+        self.network._send_fixed_raw(envelope)
+
+    def _on_timeout(self, channel: Tuple[str, str], seq: int) -> None:
+        tx = self._tx.get(channel)
+        if tx is None or seq not in tx.unacked:
+            return
+        envelope, _, attempt = tx.unacked.pop(seq)
+        if attempt >= self.max_retries:
+            # Destination unreachable for the whole backoff schedule
+            # (e.g. crashed and never recovered): give the message up.
+            tx.given_up += 1
+            self.gave_up += 1
+            self.network.metrics.record_fault("rel.give_up")
+            return
+        self._transmit(
+            channel, seq, envelope.payload.inner, attempt + 1
+        )
+
+    def _on_ack(self, message: Message) -> None:
+        # The ack travels dst -> src, so the data channel is reversed.
+        channel = (message.dst, message.src)
+        tx = self._tx.get(channel)
+        if tx is None:
+            return
+        entry = tx.unacked.pop(message.payload.seq, None)
+        if entry is not None:
+            entry[1].cancel()
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+
+    def _on_data(self, message: Message) -> None:
+        data: RelData = message.payload
+        channel = (message.src, message.dst)
+        rx = self._rx.setdefault(channel, _RxChannel())
+        # Always (re-)ack: a lost ack shows up as a duplicate here.
+        self.network._send_fixed_raw(
+            Message(
+                kind=KIND_ACK,
+                src=message.dst,
+                dst=message.src,
+                payload=RelAck(seq=data.seq),
+                scope=message.scope,
+            )
+        )
+        # The sender's floor proves everything below it will never
+        # arrive; release buffered messages past the permanent gap.
+        while rx.next_expected < data.floor:
+            buffered = rx.buffered.pop(rx.next_expected, None)
+            if buffered is not None:
+                self._deliver(message.dst, buffered)
+            else:
+                self.gaps_skipped += 1
+                self.network.metrics.record_fault("rel.gap_skipped")
+            rx.next_expected += 1
+        if data.seq < rx.next_expected or data.seq in rx.buffered:
+            self.duplicates_suppressed += 1
+            self.network.metrics.record_fault("rel.dup_suppressed")
+            return
+        rx.buffered[data.seq] = data.inner
+        while rx.next_expected in rx.buffered:
+            inner = rx.buffered.pop(rx.next_expected)
+            rx.next_expected += 1
+            self._deliver(message.dst, inner)
+
+    def _deliver(self, dst_mss_id: str, inner: Message) -> None:
+        self.network.mss(dst_mss_id).handle_message(inner)

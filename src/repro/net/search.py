@@ -47,12 +47,15 @@ class SearchOutcome:
         disconnected: ``True`` if the host is disconnected.
         probes: number of concrete probe messages this search sent
             (0 for :class:`AbstractSearch`).
+        gave_up: ``True`` when :meth:`Network.send_to_mh` exhausted its
+            delivery-attempt budget instead of observing a disconnect.
     """
 
     mh_id: str
     mss_id: str
     disconnected: bool
     probes: int
+    gave_up: bool = False
 
 
 class SearchProtocol:

@@ -1,0 +1,146 @@
+"""Chaos tests: R2 under message loss and MSS crashes.
+
+The acceptance scenario for the fault subsystem: a plan that drops 10%
+of all fixed-network messages and crashes one MSS mid-run.  Every R2
+variant must still serve every submitted request (liveness, via the
+reliable channel, token regeneration and request resubmission) without
+ever violating mutual exclusion (safety).
+
+The base seed can be overridden with ``REPRO_CHAOS_SEED`` so CI can
+sweep several seeds without editing the suite.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import (
+    CriticalResource,
+    FaultPlan,
+    LinkFault,
+    MssCrash,
+    R2Mutex,
+    R2Variant,
+    Simulation,
+)
+from repro.metrics.render import fault_summary
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "7"))
+
+ALL_VARIANTS = [R2Variant.PLAIN, R2Variant.COUNTER, R2Variant.TOKEN_LIST]
+
+
+def run_chaos(variant, plan, seed=CHAOS_SEED, n_mss=4, n_mh=8):
+    """One R2 run with staggered single requests from every MH."""
+    sim = Simulation(n_mss=n_mss, n_mh=n_mh, seed=seed, fault_plan=plan)
+    resource = CriticalResource(sim.scheduler)
+    mutex = R2Mutex(
+        sim.network,
+        resource,
+        variant=variant,
+        max_traversals=200,
+        token_timeout=30.0,
+    )
+    for i in range(n_mh):
+        sim.scheduler.schedule(1.0 + 2.0 * i, mutex.request, f"mh-{i}")
+    mutex.start()
+    sim.drain()
+    return sim, resource, mutex
+
+
+def crash_plan(seed=CHAOS_SEED, recover_at=80.0):
+    return FaultPlan(
+        link_faults=(LinkFault(drop=0.1),),
+        crashes=(MssCrash("mss-2", at=30.0, recover_at=recover_at),),
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS, ids=lambda v: v.value)
+def test_r2_survives_loss_and_mid_run_crash(variant):
+    sim, resource, mutex = run_chaos(variant, crash_plan())
+    served = {mh_id for (_, mh_id) in mutex.completed}
+    assert served == set(sim.mh_ids)
+    resource.assert_no_overlap()
+    snap = sim.metrics.snapshot()
+    # The plan really did bite, and recovery really did happen.
+    assert snap.fault_total("fixed.dropped") > 0
+    assert snap.fault_total("rel.retransmit") > 0
+    assert snap.fault_total("mss.crash") == 1
+    assert snap.fault_total("mh.orphaned") > 0
+    assert snap.fault_total("mh.rejoined") == snap.fault_total("mh.orphaned")
+    assert len(snap.recovery_times) == 1
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS, ids=lambda v: v.value)
+def test_r2_survives_permanent_crash(variant):
+    """The crashed station never returns; the ring routes around it."""
+    sim, resource, mutex = run_chaos(
+        variant, crash_plan(recover_at=None)
+    )
+    served = {mh_id for (_, mh_id) in mutex.completed}
+    assert served == set(sim.mh_ids)
+    resource.assert_no_overlap()
+    assert sim.metrics.fault_total("r2.ring_skip") > 0
+
+
+def test_regeneration_count_is_bounded():
+    """Token regeneration is a recovery of last resort, not a cycle."""
+    sim, resource, mutex = run_chaos(R2Variant.COUNTER, crash_plan())
+    assert mutex.regenerations <= 3
+
+
+def test_fault_counters_render():
+    sim, _, _ = run_chaos(R2Variant.COUNTER, crash_plan())
+    text = fault_summary(sim.metrics.snapshot())
+    assert "mss.crash" in text
+    assert "rel.retransmit" in text
+    assert "recoveries" in text
+
+
+def test_report_includes_faults_and_recovery():
+    sim, _, _ = run_chaos(R2Variant.COUNTER, crash_plan())
+    report = sim.metrics.report(sim.cost_model)
+    assert report["faults"]["mss.crash"] == 1
+    assert report["recovery"]["count"] == 1
+    assert report["recovery"]["mean"] > 0
+
+
+def test_fault_free_runs_are_untouched_by_the_subsystem():
+    """No plan installed: zero fault events, no reliable envelopes."""
+    sim = Simulation(n_mss=4, n_mh=4, seed=CHAOS_SEED)
+    resource = CriticalResource(sim.scheduler)
+    mutex = R2Mutex(sim.network, resource, max_traversals=1)
+    assert mutex.fault_tolerant is False
+    for mh_id in sim.mh_ids:
+        mutex.request(mh_id)
+    sim.drain()
+    mutex.start()
+    sim.drain()
+    assert sorted(resource.holders_in_order()) == sorted(sim.mh_ids)
+    assert sim.metrics.fault_total() == 0
+    assert fault_summary(sim.metrics.snapshot()) == ""
+
+
+def test_cli_runs_with_inline_fault_plan():
+    from repro.cli import main
+
+    lines = []
+    code = main(
+        [
+            "mutex", "--algorithm", "R2'", "--duration", "200",
+            "--seed", str(CHAOS_SEED),
+            "--fault-plan",
+            '{"link_faults": [{"drop": 0.1}],'
+            ' "crashes": [{"mss_id": "mss-2", "at": 30.0,'
+            ' "recover_at": 80.0}]}',
+        ],
+        emit=lines.append,
+    )
+    out = "\n".join(lines)
+    assert code == 0
+    assert "safety         : verified" in out
+    assert "fault events" in out
+    assert "mss.crash" in out

@@ -134,6 +134,51 @@ def test_disconnection_model_cycles():
         assert sim.mh(i).is_connected
 
 
+def test_disconnection_model_skips_already_disconnected_mh():
+    sim = make_sim(n_mss=4, n_mh=2)
+    model = DisconnectionModel(
+        sim.network, sim.mh_ids, disconnect_rate=0.5, downtime=1.0,
+        rng=random.Random(1),
+    )
+    model.stop()  # drive the timer callback by hand below
+    sim.mh(0).disconnect()
+    sim.drain()
+    # The model's timer fires against an already-disconnected MH: the
+    # cycle is skipped, not double-counted, and no reconnect is owed.
+    model._try_disconnect("mh-0")
+    sim.drain()
+    assert model.disconnections == 0
+    assert sim.mh(0).is_disconnected
+
+
+def test_disconnection_model_with_zero_mhs_is_inert():
+    sim = make_sim(n_mss=3, n_mh=0)
+    model = DisconnectionModel(
+        sim.network, [], disconnect_rate=1.0, downtime=1.0,
+        rng=random.Random(1),
+    )
+    events = sim.drain()
+    assert events == 0
+    assert model.disconnections == 0
+    model.stop()  # also a no-op
+
+
+def test_disconnection_model_rejects_nonpositive_downtime():
+    sim = make_sim(n_mss=3, n_mh=2)
+    with pytest.raises(ConfigurationError):
+        DisconnectionModel(
+            sim.network, sim.mh_ids, disconnect_rate=0.5, downtime=0.0,
+            rng=random.Random(1),
+        )
+
+
+def test_mobility_model_rejects_empty_mh_list():
+    sim = make_sim(n_mss=3, n_mh=0)
+    with pytest.raises(ConfigurationError):
+        UniformMobility(sim.network, [], move_rate=1.0,
+                        rng=random.Random(1))
+
+
 def test_disconnection_without_prev_still_recovers():
     sim = make_sim(n_mss=4, n_mh=2)
     model = DisconnectionModel(
