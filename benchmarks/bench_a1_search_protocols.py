@@ -1,4 +1,4 @@
-"""A1 -- ablation: what does the abstract ``C_search`` stand for?
+"""A1 -- prices Section 2's abstract search: ``C_search >= C_fixed``.
 
 The paper prices "locate a MH and forward a message to its current
 MSS" as a scalar ``C_search >= C_fixed`` and notes the worst case

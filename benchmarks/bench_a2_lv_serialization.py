@@ -1,4 +1,4 @@
-"""A2 -- ablation: coordinator serialization of location-view updates.
+"""A2 -- prices Section 4.3's serialized LV(G) updates: ``(|LV|+3) C_f``.
 
 Section 4.3: "Since LV(G) may be updated due to concurrent significant
 moves, it becomes necessary to serialise changes to LV(G) so that all

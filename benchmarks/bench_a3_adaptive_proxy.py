@@ -1,4 +1,4 @@
-"""A3 -- ablation: the adaptive proxy scope (Section 5's future work).
+"""A3 -- prices Section 5's ask for mobility-adaptive proxy associations.
 
 The paper ends Section 5 asking for "less static solutions in which
 the association between the MHs and proxies change, depending on the

@@ -1,4 +1,4 @@
-"""A4 -- companion system: exactly-once multicast (the paper's ref [1]).
+"""A4 -- prices ref [1]'s search-free ``(M-1) C_f`` exactly-once multicast.
 
 Measures the cost structure of the buffering + handoff multicast built
 on the same substrate:

@@ -1,4 +1,4 @@
-"""A5 -- ablation: the price of re-establishing the MH ring.
+"""A5 -- prices the ring re-establishment Section 3.1.2 says R1 requires.
 
 Section 3.1.2: "Algorithm R1 is vulnerable to disconnection of any MH
 and requires the logical ring to be re-established amongst the

@@ -1,4 +1,4 @@
-"""A6 -- ablation: the FIFO burden of mobile endpoints.
+"""A6 -- prices L1's per-MH-pair FIFO burden from Section 3.1.1.
 
 Section 3.1.1, on L1: "Correctness of the algorithm requires that
 messages are delivered in sequence (fifo) at a destination.  Since in

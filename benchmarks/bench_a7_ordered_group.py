@@ -1,4 +1,4 @@
-"""A7 -- composition: ordered group messaging over the location view.
+"""A7 -- prices Section 4's view-routed fan-out: ``(|LV|-1)`` vs ``(M-1)``.
 
 Section 4 separates group *communication* semantics from group
 *location*; this experiment composes the two reproduction pieces --

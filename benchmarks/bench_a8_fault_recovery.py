@@ -1,4 +1,4 @@
-"""A8 -- ablation: the price of dropping the reliable-network assumption.
+"""A8 -- prices dropping Section 2's reliable-network postulates.
 
 Section 2 of the paper *postulates* a reliable, sequenced fixed network
 and always-on support stations, so none of its cost formulas price

@@ -67,6 +67,7 @@ from repro.net import (
     ReliableTransport,
     UniformLatency,
 )
+from repro.trace import TraceEvent, Tracer, to_chrome, to_jsonl, to_mermaid
 
 __version__ = "1.0.0"
 
@@ -104,7 +105,12 @@ __all__ = [
     "Simulation",
     "apply_fault_plan",
     "SimulationError",
+    "TraceEvent",
+    "Tracer",
     "UniformLatency",
     "UnknownHostError",
+    "to_chrome",
+    "to_jsonl",
+    "to_mermaid",
     "__version__",
 ]

@@ -9,6 +9,11 @@ Three subcommands, one per section of the paper::
     python -m repro proxy  --policy adaptive --move-rate 0.05 \
         --message-rate 0.05 --duration 1000
 
+plus ``multicast`` (the paper's reference [1]), ``compare`` (measured
+vs predicted costs) and ``trace`` (run a canonical traced scenario and
+export it as a Mermaid diagram, JSONL, or Chrome trace JSON -- see
+``docs/cli.md``).
+
 Each prints a summary of what happened plus the cost report in the
 paper's currency.  All runs are deterministic for a given ``--seed``.
 """
@@ -136,6 +141,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiment", default="all",
         choices=["all", "lamport", "ring", "groups"],
         help="which comparison to run (default: all)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a canonical traced scenario and export its trace",
+    )
+    trace.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="scenario to run (see --list)",
+    )
+    trace.add_argument(
+        "--format", default="summary", dest="fmt",
+        choices=["summary", "mermaid", "jsonl", "chrome"],
+        help="output format: human summary, Mermaid sequence diagram, "
+             "JSON Lines, or Chrome trace_event JSON (Perfetto)",
+    )
+    trace.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the export to PATH instead of stdout",
+    )
+    trace.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list the available scenarios and exit",
     )
 
     return parser
@@ -502,6 +530,54 @@ def _run_compare(args, emit) -> int:
     return 0 if failures == 0 else 1
 
 
+def _run_trace(args, emit) -> int:
+    from collections import Counter
+
+    from repro.trace import to_chrome, to_jsonl, to_mermaid
+    from repro.trace.scenarios import SCENARIOS, run_scenario
+
+    if args.list_scenarios:
+        for name, factory in SCENARIOS.items():
+            emit(f"{name:<22} {(factory.__doc__ or '').splitlines()[0]}")
+        return 0
+    if args.scenario is None:
+        raise SystemExit("trace: --scenario is required (see --list)")
+    try:
+        run = run_scenario(args.scenario)
+    except KeyError as exc:
+        raise SystemExit(f"trace: {exc.args[0]}") from exc
+
+    if args.fmt == "mermaid":
+        text = to_mermaid(run.events, title=run.title)
+    elif args.fmt == "jsonl":
+        text = to_jsonl(run.events)
+    elif args.fmt == "chrome":
+        text = to_chrome(run.events)
+    else:
+        by_type = Counter(e.etype for e in run.events)
+        lines = [
+            f"scenario       : {run.name} -- {run.title}",
+            f"trace events   : {len(run.events)}",
+        ]
+        for etype, count in sorted(by_type.items()):
+            lines.append(f"  {etype:<20}: {count}")
+        lines.append("notes:")
+        lines.extend(f"  - {note}" for note in run.notes)
+        text = "\n".join(lines)
+
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        emit(f"wrote {len(run.events)} events to {args.out} "
+             f"({args.fmt})")
+    else:
+        for line in text.splitlines():
+            emit(line)
+    if args.fmt == "summary" and args.out is None:
+        _print_report(run.sim, emit)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, emit=print) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -515,4 +591,6 @@ def main(argv: Optional[List[str]] = None, emit=print) -> int:
         return _run_multicast(args, emit)
     if args.command == "compare":
         return _run_compare(args, emit)
+    if args.command == "trace":
+        return _run_trace(args, emit)
     raise SystemExit(f"unknown command {args.command!r}")

@@ -89,6 +89,12 @@ class Simulation:
             given, the fault injector (and, per the plan, the reliable
             delivery layer) is installed before any algorithm attaches,
             so protocols built on this simulation auto-detect it.
+        trace: when ``True``, install a :class:`~repro.trace.Tracer` as
+            :attr:`tracer` (and on ``network.trace``) so every send,
+            receive and protocol step is recorded as a
+            :class:`~repro.trace.TraceEvent`.  Purely observational:
+            costs, message counts and randomness are identical either
+            way.
     """
 
     def __init__(
@@ -102,6 +108,7 @@ class Simulation:
         placement: Placement = "round_robin",
         timeline: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        trace: bool = False,
     ) -> None:
         if n_mss < 1:
             raise ConfigurationError("need at least one MSS")
@@ -133,6 +140,13 @@ class Simulation:
             search_protocol=search,
             rng=random.Random(self.rng.getrandbits(64)),
         )
+        #: the installed tracer, or ``None`` when tracing is off.
+        self.tracer = None
+        if trace:
+            from repro.trace import Tracer
+
+            self.tracer = Tracer(self.scheduler)
+            self.network.trace = self.tracer
         self._mss: List[MobileSupportStation] = []
         for i in range(n_mss):
             mss = MobileSupportStation(f"mss-{i}", self.network)

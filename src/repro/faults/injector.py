@@ -134,6 +134,12 @@ class FaultInjector:
         mss.crashed = True
         self.stats["mss.crash"] += 1
         network.metrics.record_fault("mss.crash")
+        if network.trace.enabled:
+            network.trace.emit(
+                "fault.mss_crash",
+                src=mss_id,
+                orphans=sorted(mss.local_mhs),
+            )
         self._crash_times[mss_id] = network.scheduler.now
         # Volatile cell state dies with the station.
         orphans = sorted(mss.local_mhs)
@@ -172,7 +178,18 @@ class FaultInjector:
             # The previous MSS is (or was) dead, so the MH cannot rely
             # on it answering a handoff: reconnect without naming it,
             # which triggers the Section 2 broadcast query.
-            mh.reconnect(self._rng.choice(alive), supply_prev=False)
+            target = self._rng.choice(alive)
+            if network.trace.enabled:
+                rejoin_id = network.trace.emit(
+                    "fault.mh_rejoin",
+                    src=mh_id,
+                    dst=target,
+                    crashed_mss=crashed_mss_id,
+                )
+                with network.trace.context(rejoin_id):
+                    mh.reconnect(target, supply_prev=False)
+            else:
+                mh.reconnect(target, supply_prev=False)
             self.stats["mh.rejoined"] += 1
             network.metrics.record_fault("mh.rejoined")
         pending = self._pending_orphans.get(crashed_mss_id)
@@ -192,5 +209,7 @@ class FaultInjector:
         self.network.mss(mss_id).crashed = False
         self.stats["mss.recover"] += 1
         self.network.metrics.record_fault("mss.recover")
+        if self.network.trace.enabled:
+            self.network.trace.emit("fault.mss_recover", src=mss_id)
         for listener in self._recovery_listeners:
             listener(mss_id)

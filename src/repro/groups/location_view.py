@@ -188,7 +188,9 @@ class LocationViewGroup(GroupStrategy):
             # The sender's MSS is not (yet) in the view: deliver what we
             # can locally; the view update is still in flight.
             copy = {mss_id}
-        for view_mss in copy:
+        # Sorted so the fan-out order is independent of the process
+        # hash seed: runs must be reproducible for a given --seed.
+        for view_mss in sorted(copy):
             if view_mss == mss_id:
                 continue
             self.network.mss(mss_id).send_fixed(
@@ -279,6 +281,15 @@ class LocationViewGroup(GroupStrategy):
         if not add_needed and not delete_needed:
             return  # insignificant move: no change to LV(G)
         self.stats.significant_moves += 1
+        if self.network.trace.enabled:
+            self.network.trace.emit(
+                "lv.significant_move",
+                scope=self.scope,
+                src=prev_mss_id,
+                mh_id=notice.mh_id,
+                add=notice.new_mss_id if add_needed else None,
+                delete=prev_mss_id if delete_needed else None,
+            )
         self._send_change(
             prev_mss_id,
             add_mss_id=notice.new_mss_id if add_needed else None,
@@ -344,6 +355,15 @@ class LocationViewGroup(GroupStrategy):
         if change.add_mss_id is not None:
             view.add(change.add_mss_id)
         self.max_view_size = max(self.max_view_size, len(view))
+        if self.network.trace.enabled:
+            self.network.trace.emit(
+                "lv.update",
+                scope=self.scope,
+                src=coordinator,
+                add=change.add_mss_id,
+                delete=change.delete_mss_id,
+                view=sorted(view),
+            )
         mss = self.network.mss(coordinator)
         if change.add_mss_id is not None and change.add_mss_id != coordinator:
             # The coordinator's own cell re-entering the view needs no

@@ -46,14 +46,33 @@ class Host:
         self._handlers.pop(kind, None)
 
     def handle_message(self, message: Message) -> None:
-        """Dispatch an arriving message to its registered handler."""
+        """Dispatch an arriving message to its registered handler.
+
+        When tracing is enabled, a ``recv`` event (parented to the
+        message's send event) is recorded and pushed as the causal
+        context around the handler, so everything the handler does --
+        sends, state changes -- traces back to this receipt.
+        """
         handler = self._handlers.get(message.kind)
         if handler is None:
             raise ProtocolError(
                 f"{self.host_id}: no handler for message kind "
                 f"{message.kind!r} (from {message.src})"
             )
-        handler(message)
+        trace = self.network.trace
+        if trace.enabled:
+            recv_id = trace.emit(
+                "recv",
+                scope=message.scope,
+                src=message.src,
+                dst=self.host_id,
+                kind=message.kind,
+                parent=message.trace_id,
+            )
+            with trace.context(recv_id):
+                handler(message)
+        else:
+            handler(message)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}({self.host_id})"

@@ -129,10 +129,26 @@ class MobileHost(Host):
                 f"{self.host_id} cannot move while {self.state.value}"
             )
         self.network.mss(new_mss_id)  # validate destination exists
-        self._send_system(
-            KIND_LEAVE,
-            LeavePayload(self.host_id, self.last_received_seq),
-        )
+        trace = self.network.trace
+        if trace.enabled:
+            leave_id = trace.emit(
+                "mh.leave",
+                scope=MOBILITY_SCOPE,
+                src=self.host_id,
+                dst=self.current_mss_id,
+                r=self.last_received_seq,
+                to=new_mss_id,
+            )
+            with trace.context(leave_id):
+                self._send_system(
+                    KIND_LEAVE,
+                    LeavePayload(self.host_id, self.last_received_seq),
+                )
+        else:
+            self._send_system(
+                KIND_LEAVE,
+                LeavePayload(self.host_id, self.last_received_seq),
+            )
         prev_mss_id = self.current_mss_id
         self.state = HostState.IN_TRANSIT
         self.current_mss_id = None
@@ -162,10 +178,25 @@ class MobileHost(Host):
         self.current_mss_id = new_mss_id
         self.last_received_seq = 0
         self.moves_completed += 1
-        self._send_system(
-            KIND_JOIN, JoinPayload(self.host_id, prev_mss_id)
-        )
-        self._notify_attached()
+        trace = self.network.trace
+        if trace.enabled:
+            join_id = trace.emit(
+                "mh.join",
+                scope=MOBILITY_SCOPE,
+                src=self.host_id,
+                dst=new_mss_id,
+                prev=prev_mss_id,
+            )
+            with trace.context(join_id):
+                self._send_system(
+                    KIND_JOIN, JoinPayload(self.host_id, prev_mss_id)
+                )
+                self._notify_attached()
+        else:
+            self._send_system(
+                KIND_JOIN, JoinPayload(self.host_id, prev_mss_id)
+            )
+            self._notify_attached()
 
     def disconnect(self) -> None:
         """Voluntarily detach: ``disconnect(r)`` to the local MSS."""
@@ -173,10 +204,25 @@ class MobileHost(Host):
             raise NotConnectedError(
                 f"{self.host_id} cannot disconnect while {self.state.value}"
             )
-        self._send_system(
-            KIND_DISCONNECT,
-            DisconnectPayload(self.host_id, self.last_received_seq),
-        )
+        trace = self.network.trace
+        if trace.enabled:
+            disc_id = trace.emit(
+                "mh.disconnect",
+                scope=MOBILITY_SCOPE,
+                src=self.host_id,
+                dst=self.current_mss_id,
+                r=self.last_received_seq,
+            )
+            with trace.context(disc_id):
+                self._send_system(
+                    KIND_DISCONNECT,
+                    DisconnectPayload(self.host_id, self.last_received_seq),
+                )
+        else:
+            self._send_system(
+                KIND_DISCONNECT,
+                DisconnectPayload(self.host_id, self.last_received_seq),
+            )
         self.disconnect_mss_id = self.current_mss_id
         self.state = HostState.DISCONNECTED
         self.current_mss_id = None
@@ -191,6 +237,13 @@ class MobileHost(Host):
         """
         if not self.is_connected:
             return
+        if self.network.trace.enabled:
+            self.network.trace.emit(
+                "mh.orphaned",
+                scope=MOBILITY_SCOPE,
+                src=self.host_id,
+                mss=self.current_mss_id,
+            )
         self.disconnect_mss_id = self.current_mss_id
         self.state = HostState.DISCONNECTED
         self.current_mss_id = None
@@ -225,10 +278,25 @@ class MobileHost(Host):
         self.current_mss_id = mss_id
         self.last_received_seq = 0
         self.orphaned = False
-        self._send_system(
-            KIND_RECONNECT, ReconnectPayload(self.host_id, prev)
-        )
-        self._notify_attached()
+        trace = self.network.trace
+        if trace.enabled:
+            rec_id = trace.emit(
+                "mh.reconnect",
+                scope=MOBILITY_SCOPE,
+                src=self.host_id,
+                dst=mss_id,
+                prev=prev,
+            )
+            with trace.context(rec_id):
+                self._send_system(
+                    KIND_RECONNECT, ReconnectPayload(self.host_id, prev)
+                )
+                self._notify_attached()
+        else:
+            self._send_system(
+                KIND_RECONNECT, ReconnectPayload(self.host_id, prev)
+            )
+            self._notify_attached()
 
     # ------------------------------------------------------------------
     # Doze mode

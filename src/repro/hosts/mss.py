@@ -96,6 +96,16 @@ class MobileSupportStation(Host):
             # A crashed station consumes nothing: messages already in
             # flight toward it (wired or wireless) vanish on arrival.
             self.network.metrics.record_fault("msg.to_crashed_mss")
+            if self.network.trace.enabled:
+                self.network.trace.emit(
+                    "fault.drop",
+                    scope=message.scope,
+                    src=message.src,
+                    dst=self.host_id,
+                    kind=message.kind,
+                    parent=message.trace_id,
+                    reason="msg.to_crashed_mss",
+                )
             return
         super().handle_message(message)
 
@@ -269,6 +279,15 @@ class MobileSupportStation(Host):
                 state[name] = share
         was_disconnected = request.mh_id in self.disconnected_mhs
         self.disconnected_mhs.discard(request.mh_id)
+        if self.network.trace.enabled:
+            self.network.trace.emit(
+                "mss.handoff",
+                scope=MOBILITY_SCOPE,
+                src=self.host_id,
+                dst=request.new_mss_id,
+                mh_id=request.mh_id,
+                shares=sorted(state),
+            )
         self.send_fixed(
             request.new_mss_id,
             KIND_HANDOFF_REPLY,

@@ -151,6 +151,10 @@ class L1Mutex:
         )
 
     def _enter_region(self, mh_id: str) -> None:
+        if self.network.trace.enabled:
+            self.network.trace.emit(
+                "cs.enter", scope=self.scope, src=mh_id
+            )
         self.resource.enter(mh_id, info={"algorithm": self.scope})
         self.network.scheduler.schedule(
             self.cs_duration, self._exit_region, mh_id
@@ -158,6 +162,10 @@ class L1Mutex:
 
     def _exit_region(self, mh_id: str) -> None:
         self.resource.leave(mh_id)
+        if self.network.trace.enabled:
+            self.network.trace.emit(
+                "cs.exit", scope=self.scope, src=mh_id
+            )
         mh = self.network.mobile_host(mh_id)
         if not mh.is_connected:
             # The holder left its cell before releasing: L1 simply has no

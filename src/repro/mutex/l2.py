@@ -254,6 +254,13 @@ class L2Mutex:
     def _on_grant(self, message: Message) -> None:
         grant: GrantPayload = message.payload
         self.grant_log.append((grant.request_ts, grant.mh_id))
+        if self.network.trace.enabled:
+            self.network.trace.emit(
+                "cs.enter",
+                scope=self.scope,
+                src=grant.mh_id,
+                proxy=grant.proxy_mss_id,
+            )
         self.resource.enter(
             grant.mh_id,
             info={"algorithm": self.scope, "request_ts": grant.request_ts},
@@ -264,6 +271,13 @@ class L2Mutex:
 
     def _exit_region(self, grant: GrantPayload) -> None:
         self.resource.leave(grant.mh_id)
+        if self.network.trace.enabled:
+            self.network.trace.emit(
+                "cs.exit",
+                scope=self.scope,
+                src=grant.mh_id,
+                proxy=grant.proxy_mss_id,
+            )
         mh = self.network.mobile_host(grant.mh_id)
         if mh.is_connected:
             self._send_release(grant.mh_id, grant.proxy_mss_id)

@@ -157,6 +157,10 @@ class R1Mutex:
             return
         if self._wants[mh_id]:
             self._wants[mh_id] = False
+            if self.network.trace.enabled:
+                self.network.trace.emit(
+                    "cs.enter", scope=self.scope, src=mh_id
+                )
             self.resource.enter(mh_id, info={"algorithm": self.scope})
             self.network.scheduler.schedule(
                 self.cs_duration, self._exit_region, mh_id, forward
@@ -166,6 +170,10 @@ class R1Mutex:
 
     def _exit_region(self, mh_id: str, forward: Callable[[], None]) -> None:
         self.resource.leave(mh_id)
+        if self.network.trace.enabled:
+            self.network.trace.emit(
+                "cs.exit", scope=self.scope, src=mh_id
+            )
         self.completed.append((self.network.scheduler.now, mh_id))
         if self.on_complete is not None:
             self.on_complete(mh_id)

@@ -279,6 +279,14 @@ class R2Mutex:
                 # (delayed or retransmitted): discard it, there is
                 # exactly one live token per epoch.
                 self.network.metrics.record_fault("r2.stale_token")
+                if self.network.trace.enabled:
+                    self.network.trace.emit(
+                        "r2.stale_token",
+                        scope=self.scope,
+                        src=node.node_id,
+                        epoch=token.epoch,
+                        live_epoch=self._epoch,
+                    )
                 return
             if node.has_token:
                 # Duplicated on an unreliable wire; the copy is dropped.
@@ -339,10 +347,27 @@ class R2Mutex:
         ):
             self.finished = True
             return
+        trace = self.network.trace
+        list_before = (
+            [list(pair) for pair in token.token_list]
+            if trace.enabled
+            else None
+        )
         if self.variant is R2Variant.TOKEN_LIST:
             token.token_list = [
                 pair for pair in token.token_list if pair[0] != mss_id
             ]
+        if trace.enabled:
+            trace.emit(
+                "token.arrive",
+                scope=self.scope,
+                src=mss_id,
+                token_val=token.token_val,
+                traversals=token.traversals,
+                epoch=token.epoch,
+                token_list_before=list_before,
+                token_list=[list(pair) for pair in token.token_list],
+            )
         queue = self._request_queues[mss_id]
         eligible: List[_PendingRequest] = []
         deferred: List[_PendingRequest] = []
@@ -381,17 +406,31 @@ class R2Mutex:
             forward()
             return
         request = grant_queue.pop(0)
-        self.network.mss(mss_id).send_to_mh(
-            request.mh_id,
-            f"{self.scope}.grant",
-            RingGrantPayload(
-                request.mh_id, mss_id, token.token_val, token.epoch
-            ),
-            self.scope,
-            on_disconnected=lambda outcome, m=mss_id, r=request: (
-                self._on_requester_disconnected(m, r, outcome)
-            ),
-        )
+        trace = self.network.trace
+        if trace.enabled:
+            grant_id = trace.emit(
+                "token.grant",
+                scope=self.scope,
+                src=mss_id,
+                dst=request.mh_id,
+                token_val=token.token_val,
+                epoch=token.epoch,
+            )
+            grant_context = trace.context(grant_id)
+        else:
+            grant_context = trace.context(None)
+        with grant_context:
+            self.network.mss(mss_id).send_to_mh(
+                request.mh_id,
+                f"{self.scope}.grant",
+                RingGrantPayload(
+                    request.mh_id, mss_id, token.token_val, token.epoch
+                ),
+                self.scope,
+                on_disconnected=lambda outcome, m=mss_id, r=request: (
+                    self._on_requester_disconnected(m, r, outcome)
+                ),
+            )
 
     def _on_requester_disconnected(
         self, mss_id: str, request: _PendingRequest, outcome: SearchOutcome
@@ -455,6 +494,17 @@ class R2Mutex:
             )
         if self.variant is R2Variant.TOKEN_LIST:
             self._tokens[mss_id].token_list.append((mss_id, mh_id))
+            if self.network.trace.enabled:
+                self.network.trace.emit(
+                    "token.append",
+                    scope=self.scope,
+                    src=mss_id,
+                    pair=[mss_id, mh_id],
+                    token_list=[
+                        list(pair)
+                        for pair in self._tokens[mss_id].token_list
+                    ],
+                )
         if not self.fault_tolerant:
             # Fault-tolerant runs record the completion at the MH when
             # it leaves the region, so a return message dying with a
@@ -525,6 +575,14 @@ class R2Mutex:
         self._epoch += 1
         self.regenerations += 1
         self.network.metrics.record_fault("r2.token_regenerated")
+        if self.network.trace.enabled:
+            self.network.trace.emit(
+                "r2.regenerate",
+                scope=self.scope,
+                src=leader,
+                epoch=self._epoch,
+                token_val=self._last_token_val + 1,
+            )
         alive = [
             m for m in self.mss_ids if not self.network.mss(m).crashed
         ]
@@ -570,6 +628,13 @@ class R2Mutex:
         ).crashed:
             self._resubmit_pending.discard(mh_id)
             self.network.metrics.record_fault("r2.request_resubmitted")
+            if self.network.trace.enabled:
+                self.network.trace.emit(
+                    "r2.resubmit",
+                    scope=self.scope,
+                    src=mh_id,
+                    dst=mh.current_mss_id,
+                )
             self.request(mh_id)
             return
         # Not attached yet (in transit, disconnected, or orphaned by a
@@ -587,11 +652,26 @@ class R2Mutex:
             # grant was in flight; honoring it could overlap with a
             # grant from the live token.  Refuse and ask again.
             self.network.metrics.record_fault("r2.stale_grant")
+            if self.network.trace.enabled:
+                self.network.trace.emit(
+                    "r2.stale_grant",
+                    scope=self.scope,
+                    src=grant.mh_id,
+                    epoch=grant.epoch,
+                    live_epoch=self._epoch,
+                )
             self._resubmit(grant.mh_id)
             return
         # R2': on receiving the token the MH adopts the current
         # token_val as its access_count.
         self.access_counts[grant.mh_id] = grant.token_val
+        if self.network.trace.enabled:
+            self.network.trace.emit(
+                "cs.enter",
+                scope=self.scope,
+                src=grant.mh_id,
+                token_val=grant.token_val,
+            )
         self.resource.enter(
             grant.mh_id,
             info={
@@ -606,6 +686,13 @@ class R2Mutex:
 
     def _exit_region(self, grant: RingGrantPayload) -> None:
         self.resource.leave(grant.mh_id)
+        if self.network.trace.enabled:
+            self.network.trace.emit(
+                "cs.exit",
+                scope=self.scope,
+                src=grant.mh_id,
+                token_val=grant.token_val,
+            )
         if self.fault_tolerant:
             # Record the completion here, at the MH: the access has
             # happened even if the return message later dies with a

@@ -28,6 +28,10 @@ class Message:
         msg_id: unique id, handy in logs and tests.
         wireless_seq: sequence number stamped by the wireless downlink
             (MSS -> MH direction only); ``None`` elsewhere.
+        trace_id: id of the trace event that sent this message, stamped
+            by the network when tracing is enabled; the matching receive
+            event uses it as its causal parent.  ``None`` when tracing
+            is off (the default).
     """
 
     kind: str
@@ -37,6 +41,7 @@ class Message:
     scope: str = "default"
     msg_id: int = field(default_factory=lambda: next(_message_ids))
     wireless_seq: int | None = None
+    trace_id: int | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -23,6 +23,7 @@ from repro.net.config import NetworkConfig
 from repro.net.messages import Message
 from repro.net.search import AbstractSearch, SearchOutcome, SearchProtocol
 from repro.sim import Scheduler
+from repro.trace.events import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.injector import FaultInjector
@@ -72,6 +73,10 @@ class Network:
         self.faults: Optional["FaultInjector"] = None
         #: reliable-delivery layer wrapping :meth:`send_fixed`.
         self.reliable: Optional["ReliableTransport"] = None
+        #: trace sink; the shared no-op tracer unless a
+        #: :class:`~repro.trace.Tracer` is installed.  A pure observer:
+        #: swapping it never changes costs, ordering, or randomness.
+        self.trace = NULL_TRACER
 
     # ------------------------------------------------------------------
     # Registration and lookup
@@ -177,6 +182,14 @@ class Network:
         """
         dst = self.mss(message.dst)
         if message.src == message.dst:
+            if self.trace.enabled:
+                message.trace_id = self.trace.emit(
+                    "send.local",
+                    scope=message.scope,
+                    src=message.src,
+                    dst=message.dst,
+                    kind=message.kind,
+                )
             self.scheduler.schedule(0.0, dst.handle_message, message)
             return
         self.mss(message.src)  # validate the source exists
@@ -195,10 +208,29 @@ class Network:
         """
         dst = self.mss(message.dst)
         self.metrics.record_fixed(message.scope)
+        if self.trace.enabled:
+            message.trace_id = self.trace.emit(
+                "send.fixed",
+                scope=message.scope,
+                category="fixed",
+                src=message.src,
+                dst=message.dst,
+                kind=message.kind,
+            )
         if self.mss(message.src).crashed:
             # A crashed station transmits nothing; the message (already
             # charged) vanishes on the wire.
             self.metrics.record_fault("fixed.dropped_src_crashed")
+            if self.trace.enabled:
+                self.trace.emit(
+                    "fault.drop",
+                    scope=message.scope,
+                    src=message.src,
+                    dst=message.dst,
+                    kind=message.kind,
+                    parent=message.trace_id,
+                    reason="fixed.dropped_src_crashed",
+                )
             return
         extra_delay = 0.0
         duplicates = 0
@@ -206,9 +238,29 @@ class Network:
             decision = self.faults.decide_fixed(message)
             if decision.drop:
                 self.metrics.record_fault(decision.reason)
+                if self.trace.enabled:
+                    self.trace.emit(
+                        "fault.drop",
+                        scope=message.scope,
+                        src=message.src,
+                        dst=message.dst,
+                        kind=message.kind,
+                        parent=message.trace_id,
+                        reason=decision.reason,
+                    )
                 return
             extra_delay = decision.extra_delay
             duplicates = decision.duplicates
+            if self.trace.enabled and duplicates:
+                self.trace.emit(
+                    "fault.duplicate",
+                    scope=message.scope,
+                    src=message.src,
+                    dst=message.dst,
+                    kind=message.kind,
+                    parent=message.trace_id,
+                    copies=duplicates,
+                )
         arrival = self._fifo_arrival(
             (message.src, message.dst),
             self.config.fixed_latency(self.rng) + extra_delay,
@@ -251,6 +303,15 @@ class Network:
             # is lost on the spot (no cost: nothing was transmitted).
             self.lost_wireless_messages += 1
             self.metrics.record_fault("wireless.dropped_src_crashed")
+            if self.trace.enabled:
+                self.trace.emit(
+                    "wireless.lost",
+                    scope=message.scope,
+                    src=mss_id,
+                    dst=mh_id,
+                    kind=message.kind,
+                    reason="wireless.dropped_src_crashed",
+                )
             if on_lost is not None:
                 on_lost(message)
             return
@@ -264,6 +325,15 @@ class Network:
         message.wireless_seq = seq
         session = mh.session
         self.metrics.record_wireless_rx(mh_id, message.scope)
+        if self.trace.enabled:
+            message.trace_id = self.trace.emit(
+                "send.wireless_down",
+                scope=message.scope,
+                category="wireless",
+                src=mss_id,
+                dst=mh_id,
+                kind=message.kind,
+            )
         arrival = self._fifo_arrival(
             key, self.config.wireless_latency(self.rng)
         )
@@ -294,6 +364,16 @@ class Network:
         )
         if not still_here:
             self.lost_wireless_messages += 1
+            if self.trace.enabled:
+                self.trace.emit(
+                    "wireless.lost",
+                    scope=message.scope,
+                    src=mss_id,
+                    dst=mh.host_id,
+                    kind=message.kind,
+                    parent=message.trace_id,
+                    reason="mh_left_cell",
+                )
             if on_lost is not None:
                 on_lost(message)
             return
@@ -317,6 +397,15 @@ class Network:
         mss = self.mss(mh.current_mss_id)
         message.dst = mss.host_id
         self.metrics.record_wireless_tx(mh_id, message.scope)
+        if self.trace.enabled:
+            message.trace_id = self.trace.emit(
+                "send.wireless_up",
+                scope=message.scope,
+                category="wireless",
+                src=mh_id,
+                dst=mss.host_id,
+                kind=message.kind,
+            )
         arrival = self._fifo_arrival(
             (mh_id, mss.host_id), self.config.wireless_latency(self.rng)
         )
@@ -352,6 +441,15 @@ class Network:
         cap = self.config.mh_delivery_max_attempts
         if cap is not None and _attempts > cap:
             self.metrics.record_fault("send_to_mh.gave_up")
+            if self.trace.enabled:
+                self.trace.emit(
+                    "send_to_mh.gave_up",
+                    scope=message.scope,
+                    src=src_mss_id,
+                    dst=mh_id,
+                    kind=message.kind,
+                    attempts=_attempts - 1,
+                )
             if on_disconnected is not None:
                 on_disconnected(
                     SearchOutcome(
@@ -418,9 +516,39 @@ class Network:
                 on_delivered=on_delivered,
             )
 
-        self.search_protocol.search(
-            self, src_mss_id, mh_id, message.scope, on_outcome
-        )
+        if self.trace.enabled:
+            begin_id = self.trace.emit(
+                "search.begin",
+                scope=message.scope,
+                src=src_mss_id,
+                dst=mh_id,
+                kind=message.kind,
+                attempt=_attempts,
+            )
+            inner_outcome = on_outcome
+
+            def on_outcome(outcome: SearchOutcome) -> None:
+                result_id = self.trace.emit(
+                    "search.result",
+                    scope=message.scope,
+                    src=src_mss_id,
+                    dst=mh_id,
+                    parent=begin_id,
+                    located=outcome.mss_id,
+                    disconnected=outcome.disconnected,
+                    probes=outcome.probes,
+                )
+                with self.trace.context(result_id):
+                    inner_outcome(outcome)
+
+            with self.trace.context(begin_id):
+                self.search_protocol.search(
+                    self, src_mss_id, mh_id, message.scope, on_outcome
+                )
+        else:
+            self.search_protocol.search(
+                self, src_mss_id, mh_id, message.scope, on_outcome
+            )
 
     # ------------------------------------------------------------------
 

@@ -136,6 +136,19 @@ class ReliableTransport:
         tx = self._tx.setdefault(channel, _TxChannel())
         seq = tx.next_seq
         tx.next_seq += 1
+        trace = self.network.trace
+        if trace.enabled:
+            # Logical send: the protocol-level receive at the far end
+            # parents to this event, so causality survives however many
+            # physical envelope transmissions the channel needs.
+            message.trace_id = trace.emit(
+                "rel.send",
+                scope=message.scope,
+                src=message.src,
+                dst=message.dst,
+                kind=message.kind,
+                seq=seq,
+            )
         self._transmit(channel, seq, message, attempt=0)
 
     def _transmit(
@@ -150,6 +163,17 @@ class ReliableTransport:
         if attempt > 0:
             self.retransmits += 1
             self.network.metrics.record_fault("rel.retransmit")
+            if self.network.trace.enabled:
+                self.network.trace.emit(
+                    "rel.retransmit",
+                    scope=inner.scope,
+                    src=src,
+                    dst=dst,
+                    kind=inner.kind,
+                    parent=inner.trace_id,
+                    seq=seq,
+                    attempt=attempt,
+                )
         # Floor = lowest seq that may still arrive on this channel --
         # everything unacked including the message going out right now.
         floor = min(min(tx.unacked), seq) if tx.unacked else seq
@@ -178,6 +202,18 @@ class ReliableTransport:
             tx.given_up += 1
             self.gave_up += 1
             self.network.metrics.record_fault("rel.give_up")
+            if self.network.trace.enabled:
+                inner = envelope.payload.inner
+                self.network.trace.emit(
+                    "rel.give_up",
+                    scope=inner.scope,
+                    src=channel[0],
+                    dst=channel[1],
+                    kind=inner.kind,
+                    parent=inner.trace_id,
+                    seq=seq,
+                    attempts=attempt + 1,
+                )
             return
         self._transmit(
             channel, seq, envelope.payload.inner, attempt + 1
@@ -220,10 +256,27 @@ class ReliableTransport:
             else:
                 self.gaps_skipped += 1
                 self.network.metrics.record_fault("rel.gap_skipped")
+                if self.network.trace.enabled:
+                    self.network.trace.emit(
+                        "rel.gap_skipped",
+                        scope=message.scope,
+                        src=message.src,
+                        dst=message.dst,
+                        seq=rx.next_expected,
+                    )
             rx.next_expected += 1
         if data.seq < rx.next_expected or data.seq in rx.buffered:
             self.duplicates_suppressed += 1
             self.network.metrics.record_fault("rel.dup_suppressed")
+            if self.network.trace.enabled:
+                self.network.trace.emit(
+                    "rel.dup_suppressed",
+                    scope=message.scope,
+                    src=message.src,
+                    dst=message.dst,
+                    kind=data.inner.kind,
+                    seq=data.seq,
+                )
             return
         rx.buffered[data.seq] = data.inner
         while rx.next_expected in rx.buffered:

@@ -116,6 +116,14 @@ class AbstractSearch(SearchProtocol):
         callback: Callable[[SearchOutcome], None],
     ) -> None:
         network.metrics.record_search(scope)
+        if network.trace.enabled:
+            network.trace.emit(
+                "search.charge",
+                scope=scope,
+                category="search",
+                src=src_mss_id,
+                dst=mh_id,
+            )
         self._resolve(network, mh_id, callback, first_attempt=True)
 
     def _resolve(
@@ -198,6 +206,15 @@ class BroadcastSearch(SearchProtocol):
         # one that saw the disconnect) replies.  Probes = queries + reply.
         probes = len(others) + 1
         network.metrics.record_search_probe(scope, count=probes)
+        if network.trace.enabled:
+            network.trace.emit(
+                "search.probes",
+                scope=scope,
+                category="search_probe",
+                src=src_mss_id,
+                dst=mh_id,
+                count=probes,
+            )
         round_trip = 2 * network.config.fixed_latency(network.rng)
         network.scheduler.schedule(
             round_trip,
@@ -301,6 +318,16 @@ class HomeAgentSearch(SearchProtocol):
     ) -> None:
         # Query + reply to the home agent.
         network.metrics.record_search_probe(scope, count=2)
+        if network.trace.enabled:
+            network.trace.emit(
+                "search.probes",
+                scope=scope,
+                category="search_probe",
+                src=src_mss_id,
+                dst=mh_id,
+                count=2,
+                home=self.home_of(network, mh_id),
+            )
         round_trip = 2 * network.config.fixed_latency(network.rng)
         network.scheduler.schedule(
             round_trip, self._complete, network, mh_id, scope, callback

@@ -1,0 +1,39 @@
+"""Structured event tracing for protocol executions.
+
+The trace layer turns every send, receive, handoff step, token pass,
+critical-section entry/exit, fault injection and recovery action into a
+:class:`TraceEvent` with a monotonically increasing id, a causal parent
+id, the metrics scope, and the paper's cost category.  Install a
+:class:`Tracer` on a network (``network.trace = Tracer(scheduler)`` or
+``Simulation(..., trace=True)``) and export the collected events with
+:func:`to_jsonl`, :func:`to_chrome` (Perfetto) or :func:`to_mermaid`.
+
+Tracing is off by default (:data:`NULL_TRACER`) and structurally free
+when disabled; enabling it never changes costs, message counts, or
+randomness -- the tracer is a pure observer.
+
+Submodules :mod:`repro.trace.scenarios` and
+:mod:`repro.trace.walkthroughs` hold the canonical small scenarios and
+the Markdown walkthrough renderer behind ``docs/walkthroughs/``; they
+are not imported here to keep this package import-light (the network
+core imports it).
+"""
+
+from repro.trace.events import NULL_TRACER, NullTracer, TraceEvent, Tracer
+from repro.trace.export import (
+    event_to_dict,
+    to_chrome,
+    to_jsonl,
+    to_mermaid,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "event_to_dict",
+    "to_chrome",
+    "to_jsonl",
+    "to_mermaid",
+]

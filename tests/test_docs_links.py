@@ -1,0 +1,32 @@
+"""Every relative link in README.md and docs/ must resolve (the same
+check CI runs via ``tools/check_links.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+_TOOL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tools", "check_links.py",
+)
+_spec = importlib.util.spec_from_file_location("check_links", _TOOL)
+check_links = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_links)
+
+
+def test_no_broken_links():
+    assert check_links.main([]) == 0
+
+
+def test_github_slugs():
+    assert check_links.github_slug("Trace events") == "trace-events"
+    assert check_links.github_slug("## `repro trace`") == "-repro-trace"
+    assert check_links.github_slug("A, B & C!") == "a-b--c"
+
+
+def test_anchor_detection_matches_docs():
+    metrics = os.path.join(check_links.REPO_ROOT, "docs", "metrics.md")
+    anchors = check_links.anchors_of(metrics)
+    assert "trace-events" in anchors
+    assert "fault-counters" in anchors

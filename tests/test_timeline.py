@@ -56,6 +56,26 @@ def test_bucketed_cost():
     assert buckets == [(0.0, 2.0), (10.0, 2.0)]
 
 
+def test_bucket_edges_are_half_open_on_the_right():
+    # An event at exactly t = k*bucket belongs to bucket k, not k-1.
+    sched, collector = make_collector()
+    for t in (0.0, 10.0, 20.0):
+        sched.schedule(t, collector.record_fixed, "a")
+    sched.drain()
+    buckets = collector.bucketed_cost(COSTS, bucket=10.0)
+    assert buckets == [(0.0, 1.0), (10.0, 1.0), (20.0, 1.0)]
+
+
+def test_bucketed_cost_skips_empty_buckets():
+    sched, collector = make_collector()
+    sched.schedule(0.5, collector.record_fixed, "a")
+    sched.schedule(35.0, collector.record_fixed, "a")
+    sched.drain()
+    assert collector.bucketed_cost(COSTS, bucket=10.0) == [
+        (0.0, 1.0), (30.0, 1.0),
+    ]
+
+
 def test_bucket_must_be_positive():
     sched, collector = make_collector()
     with pytest.raises(ConfigurationError):
@@ -71,6 +91,23 @@ def test_cost_between():
     assert collector.cost_between(COSTS, 0.0, 10.0) == 4.0
     with pytest.raises(ConfigurationError):
         collector.cost_between(COSTS, 5.0, 1.0)
+
+
+def test_cost_between_includes_start_excludes_end():
+    # [start, end): an event exactly at start counts, one exactly at
+    # end does not -- so adjacent windows tile without double counting.
+    sched, collector = make_collector()
+    for t in (1.0, 2.0, 3.0):
+        sched.schedule(t, collector.record_fixed, "a")
+    sched.drain()
+    assert collector.cost_between(COSTS, 1.0, 2.0) == 1.0
+    assert collector.cost_between(COSTS, 2.0, 3.0) == 1.0
+    assert collector.cost_between(COSTS, 3.0, 3.0) == 0.0
+    assert (
+        collector.cost_between(COSTS, 1.0, 2.0)
+        + collector.cost_between(COSTS, 2.0, 4.0)
+        == collector.cost_between(COSTS, 1.0, 4.0)
+    )
 
 
 def test_scopes_over_time():

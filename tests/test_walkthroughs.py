@@ -1,0 +1,65 @@
+"""The checked-in ``docs/walkthroughs/`` pages must regenerate
+byte-identically (CI regenerates them and fails on any diff)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.trace.walkthroughs import (
+    GENERATED_BANNER,
+    PAGES,
+    render_all,
+)
+
+DOCS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "docs", "walkthroughs",
+)
+
+RENDERED = render_all()
+
+
+def test_page_set_is_complete():
+    assert set(RENDERED) == set(PAGES) | {"index.md"}
+    on_disk = {name for name in os.listdir(DOCS_DIR)
+               if name.endswith(".md")}
+    assert on_disk == set(RENDERED)
+
+
+@pytest.mark.parametrize("filename", sorted(render_all()))
+def test_checked_in_page_matches_fresh_render(filename):
+    with open(os.path.join(DOCS_DIR, filename), encoding="utf-8") as fh:
+        assert fh.read() == RENDERED[filename], (
+            f"{filename} is stale; regenerate with "
+            "`PYTHONPATH=src python tools/gen_walkthroughs.py`"
+        )
+
+
+@pytest.mark.parametrize("filename", sorted(render_all()))
+def test_pages_carry_the_generated_banner(filename):
+    assert RENDERED[filename].startswith(GENERATED_BANNER)
+
+
+def test_pages_embed_diagrams_tables_and_costs():
+    for filename, content in RENDERED.items():
+        if filename == "index.md":
+            continue
+        assert "```mermaid" in content, filename
+        assert "| # | t | event |" in content, filename
+        assert "Cost summary" in content, filename
+
+
+def test_truncation_is_never_silent():
+    # The long crash-recovery trace overflows the table cap; the page
+    # must say how many events were cut and how to get the full trace.
+    page = RENDERED["r2_crash_recovery.md"]
+    assert "further events omitted" in page
+    assert "repro trace --scenario r2_crash_recovery" in page
+
+
+def test_index_links_every_page():
+    index = RENDERED["index.md"]
+    for filename in PAGES:
+        assert f"({filename})" in index

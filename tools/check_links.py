@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Check relative links and anchors in the repository's Markdown docs.
+
+Scans ``README.md`` and every ``docs/**/*.md`` for Markdown links
+``[text](target)`` and verifies that:
+
+* relative file targets exist (relative to the linking file);
+* intra-repo anchors (``file.md#section`` or ``#section``) match a
+  heading in the target file (GitHub-style slugs);
+* no link points outside the repository.
+
+External ``http(s)://`` links are listed but not fetched (CI has no
+network guarantee).  Exits nonzero on any broken link.
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: [text](target) -- ignores images' leading ! only in that we treat
+#: them identically (the file must exist either way).
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: str) -> set:
+    with open(path, "r", encoding="utf-8") as fh:
+        content = _CODE_FENCE_RE.sub("", fh.read())
+    return {github_slug(m.group(1)) for m in _HEADING_RE.finditer(content)}
+
+
+def doc_files() -> list:
+    files = []
+    readme = os.path.join(REPO_ROOT, "README.md")
+    if os.path.exists(readme):
+        files.append(readme)
+    docs = os.path.join(REPO_ROOT, "docs")
+    for dirpath, _, filenames in os.walk(docs):
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                files.append(os.path.join(dirpath, name))
+    return files
+
+
+def check_file(path: str, errors: list) -> int:
+    with open(path, "r", encoding="utf-8") as fh:
+        content = _CODE_FENCE_RE.sub("", fh.read())
+    rel = os.path.relpath(path, REPO_ROOT)
+    checked = 0
+    for match in _LINK_RE.finditer(content):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        checked += 1
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            dest = os.path.normpath(
+                os.path.join(os.path.dirname(path), file_part)
+            )
+            if not dest.startswith(REPO_ROOT):
+                errors.append(f"{rel}: link escapes the repo: {target}")
+                continue
+            if not os.path.exists(dest):
+                errors.append(f"{rel}: broken link: {target}")
+                continue
+        else:
+            dest = path
+        if anchor and dest.endswith(".md"):
+            if anchor not in anchors_of(dest):
+                errors.append(f"{rel}: missing anchor: {target}")
+    return checked
+
+
+def main(argv=None) -> int:
+    argparse.ArgumentParser(description=__doc__).parse_args(argv)
+    errors: list = []
+    total = 0
+    files = doc_files()
+    for path in files:
+        total += check_file(path, errors)
+    for error in errors:
+        print(f"BROKEN  {error}")
+    print(f"checked {total} relative links across {len(files)} files: "
+          f"{len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
