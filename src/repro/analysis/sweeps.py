@@ -42,47 +42,100 @@ class Summary:
 
 
 def summarize(values: Sequence[float]) -> Summary:
-    """Aggregate a sample of measurements."""
-    values = [float(v) for v in values]
-    if not values:
+    """Aggregate a sample of measurements.
+
+    Single pass using Welford's online update, which stays accurate
+    when the values share a large common offset (a naive one-pass
+    sum-of-squares catastrophically cancels there) and visits each
+    value exactly once.
+    """
+    n = 0
+    mean = 0.0
+    m2 = 0.0
+    minimum = math.inf
+    maximum = -math.inf
+    for value in values:
+        value = float(value)
+        n += 1
+        delta = value - mean
+        mean += delta / n
+        m2 += delta * (value - mean)
+        if value < minimum:
+            minimum = value
+        if value > maximum:
+            maximum = value
+    if n == 0:
         raise ConfigurationError("cannot summarize an empty sample")
-    n = len(values)
-    mean = sum(values) / n
     if n > 1:
-        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
-        stdev = math.sqrt(variance)
+        # Rounding can leave m2 a hair below zero for constant samples.
+        stdev = math.sqrt(m2 / (n - 1)) if m2 > 0.0 else 0.0
     else:
         stdev = 0.0
     return Summary(
         mean=mean,
         stdev=stdev,
-        minimum=min(values),
-        maximum=max(values),
+        minimum=minimum,
+        maximum=maximum,
         n=n,
     )
+
+
+def _run_cell(
+    experiment: Callable[..., float], parameter: object, seed: int
+) -> float:
+    """One (parameter, seed) measurement; module-level so it pickles
+    for the worker pool."""
+    return experiment(parameter, seed)
 
 
 def sweep(
     experiment: Callable[..., float],
     parameters: Iterable,
     seeds: Sequence[int],
+    workers: int = 1,
 ) -> Dict[object, Summary]:
     """Run ``experiment(parameter, seed)`` over a grid and summarize.
 
     Args:
-        experiment: function returning one scalar measurement.
+        experiment: function returning one scalar measurement.  Must be
+            picklable (module-level) when ``workers > 1``.
         parameters: the swept values (each becomes a result key).
         seeds: seeds to repeat each cell with.
+        workers: processes to spread cells over.  Each (parameter,
+            seed) cell is an independent simulation seeded from its own
+            arguments, so the partitioning cannot affect results: the
+            pool map preserves submission order and the output is
+            byte-identical to a serial run.
 
     Returns:
         ``{parameter: Summary}`` in parameter order.
     """
     if not seeds:
         raise ConfigurationError("sweep needs at least one seed")
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    parameters = list(parameters)
+    if workers == 1:
+        samples = [
+            experiment(parameter, seed)
+            for parameter in parameters
+            for seed in seeds
+        ]
+    else:
+        import multiprocessing
+
+        cells = [
+            (experiment, parameter, seed)
+            for parameter in parameters
+            for seed in seeds
+        ]
+        with multiprocessing.Pool(processes=workers) as pool:
+            samples = pool.starmap(_run_cell, cells)
     results: Dict[object, Summary] = {}
-    for parameter in parameters:
-        samples = [experiment(parameter, seed) for seed in seeds]
-        results[parameter] = summarize(samples)
+    per_parameter = len(seeds)
+    for index, parameter in enumerate(parameters):
+        start = index * per_parameter
+        results[parameter] = summarize(samples[start:start + per_parameter])
     return results
 
 

@@ -10,9 +10,10 @@ Three subcommands, one per section of the paper::
         --message-rate 0.05 --duration 1000
 
 plus ``multicast`` (the paper's reference [1]), ``compare`` (measured
-vs predicted costs) and ``trace`` (run a canonical traced scenario and
+vs predicted costs), ``trace`` (run a canonical traced scenario and
 export it as a Mermaid diagram, JSONL, or Chrome trace JSON -- see
-``docs/cli.md``).
+``docs/cli.md``) and ``perf`` (the benchmark harness -- see
+``docs/performance.md``).
 
 Each prints a summary of what happened plus the cost report in the
 paper's currency.  All runs are deterministic for a given ``--seed``.
@@ -162,6 +163,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the export to PATH instead of stdout",
     )
     trace.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list the available scenarios and exit",
+    )
+
+    perf = sub.add_parser(
+        "perf",
+        help="measure events/sec on the curated perf scenarios",
+    )
+    perf.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="scenario to measure (default: all; see --list)",
+    )
+    perf.add_argument(
+        "--repeats", type=int, default=3,
+        help="repeats per scenario, best-of (default 3)",
+    )
+    perf.add_argument(
         "--list", action="store_true", dest="list_scenarios",
         help="list the available scenarios and exit",
     )
@@ -578,6 +596,28 @@ def _run_trace(args, emit) -> int:
     return 0
 
 
+def _run_perf(args, emit) -> int:
+    from repro.errors import ConfigurationError
+    from repro.perf import SCENARIOS, run_scenario, scenario_names
+
+    if args.list_scenarios:
+        for name in scenario_names():
+            scenario = SCENARIOS[name]
+            tag = " [smoke]" if scenario.smoke else ""
+            emit(f"{name:<18} {scenario.description}{tag}")
+        return 0
+    names = [args.scenario] if args.scenario else scenario_names()
+    for name in names:
+        try:
+            result = run_scenario(name, repeats=args.repeats)
+        except ConfigurationError as exc:
+            raise SystemExit(f"perf: {exc}") from exc
+        emit(f"{name:<18} {result.events:>9} events  "
+             f"{result.wall_time_s:>8.3f}s  "
+             f"{result.events_per_sec:>10.0f} ev/s")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, emit=print) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -593,4 +633,6 @@ def main(argv: Optional[List[str]] = None, emit=print) -> int:
         return _run_compare(args, emit)
     if args.command == "trace":
         return _run_trace(args, emit)
+    if args.command == "perf":
+        return _run_perf(args, emit)
     raise SystemExit(f"unknown command {args.command!r}")

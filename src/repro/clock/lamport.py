@@ -7,27 +7,36 @@ which yields the total order Lamport's mutual exclusion algorithm needs
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import total_ordering
-
 from repro.errors import ConfigurationError
 
 
-@total_ordering
-@dataclass(frozen=True)
-class Timestamp:
-    """A totally ordered Lamport timestamp."""
+class Timestamp(tuple):
+    """A totally ordered Lamport timestamp.
 
-    counter: int
-    node_id: str
+    Subclasses ``tuple`` so every comparison is a C-level tuple
+    comparison: the mutex request queue takes a ``min()`` over
+    timestamps on each message arrival, and a Python-level ``__lt__``
+    there dominated whole-simulation profiles.  The order is the same
+    lexicographic ``(counter, node_id)`` the algorithm requires.
+    """
 
-    def __lt__(self, other: "Timestamp") -> bool:
-        if not isinstance(other, Timestamp):
-            return NotImplemented
-        return (self.counter, self.node_id) < (other.counter, other.node_id)
+    __slots__ = ()
+
+    def __new__(cls, counter: int, node_id: str) -> "Timestamp":
+        return tuple.__new__(cls, (counter, node_id))
+
+    @property
+    def counter(self) -> int:
+        """The Lamport counter component."""
+        return self[0]
+
+    @property
+    def node_id(self) -> str:
+        """The tie-breaking node id component."""
+        return self[1]
 
     def __repr__(self) -> str:
-        return f"({self.counter}, {self.node_id})"
+        return f"({self[0]}, {self[1]})"
 
 
 class LamportClock:

@@ -134,8 +134,8 @@ class FaultInjector:
         mss.crashed = True
         self.stats["mss.crash"] += 1
         network.metrics.record_fault("mss.crash")
-        if network.trace.enabled:
-            network.trace.emit(
+        if network._trace_on:
+            network._trace.emit(
                 "fault.mss_crash",
                 src=mss_id,
                 orphans=sorted(mss.local_mhs),
@@ -179,14 +179,14 @@ class FaultInjector:
             # on it answering a handoff: reconnect without naming it,
             # which triggers the Section 2 broadcast query.
             target = self._rng.choice(alive)
-            if network.trace.enabled:
-                rejoin_id = network.trace.emit(
+            if network._trace_on:
+                rejoin_id = network._trace.emit(
                     "fault.mh_rejoin",
                     src=mh_id,
                     dst=target,
                     crashed_mss=crashed_mss_id,
                 )
-                with network.trace.context(rejoin_id):
+                with network._trace.context(rejoin_id):
                     mh.reconnect(target, supply_prev=False)
             else:
                 mh.reconnect(target, supply_prev=False)
@@ -209,7 +209,7 @@ class FaultInjector:
         self.network.mss(mss_id).crashed = False
         self.stats["mss.recover"] += 1
         self.network.metrics.record_fault("mss.recover")
-        if self.network.trace.enabled:
-            self.network.trace.emit("fault.mss_recover", src=mss_id)
+        if self.network._trace_on:
+            self.network._trace.emit("fault.mss_recover", src=mss_id)
         for listener in self._recovery_listeners:
             listener(mss_id)

@@ -281,8 +281,8 @@ class LocationViewGroup(GroupStrategy):
         if not add_needed and not delete_needed:
             return  # insignificant move: no change to LV(G)
         self.stats.significant_moves += 1
-        if self.network.trace.enabled:
-            self.network.trace.emit(
+        if self.network._trace_on:
+            self.network._trace.emit(
                 "lv.significant_move",
                 scope=self.scope,
                 src=prev_mss_id,
@@ -355,8 +355,8 @@ class LocationViewGroup(GroupStrategy):
         if change.add_mss_id is not None:
             view.add(change.add_mss_id)
         self.max_view_size = max(self.max_view_size, len(view))
-        if self.network.trace.enabled:
-            self.network.trace.emit(
+        if self.network._trace_on:
+            self.network._trace.emit(
                 "lv.update",
                 scope=self.scope,
                 src=coordinator,

@@ -59,7 +59,7 @@ class Host:
                 f"{self.host_id}: no handler for message kind "
                 f"{message.kind!r} (from {message.src})"
             )
-        trace = self.network.trace
+        trace = self.network._trace
         if trace.enabled:
             recv_id = trace.emit(
                 "recv",

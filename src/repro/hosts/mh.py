@@ -129,7 +129,7 @@ class MobileHost(Host):
                 f"{self.host_id} cannot move while {self.state.value}"
             )
         self.network.mss(new_mss_id)  # validate destination exists
-        trace = self.network.trace
+        trace = self.network._trace
         if trace.enabled:
             leave_id = trace.emit(
                 "mh.leave",
@@ -178,7 +178,7 @@ class MobileHost(Host):
         self.current_mss_id = new_mss_id
         self.last_received_seq = 0
         self.moves_completed += 1
-        trace = self.network.trace
+        trace = self.network._trace
         if trace.enabled:
             join_id = trace.emit(
                 "mh.join",
@@ -204,7 +204,7 @@ class MobileHost(Host):
             raise NotConnectedError(
                 f"{self.host_id} cannot disconnect while {self.state.value}"
             )
-        trace = self.network.trace
+        trace = self.network._trace
         if trace.enabled:
             disc_id = trace.emit(
                 "mh.disconnect",
@@ -237,8 +237,8 @@ class MobileHost(Host):
         """
         if not self.is_connected:
             return
-        if self.network.trace.enabled:
-            self.network.trace.emit(
+        if self.network._trace_on:
+            self.network._trace.emit(
                 "mh.orphaned",
                 scope=MOBILITY_SCOPE,
                 src=self.host_id,
@@ -278,7 +278,7 @@ class MobileHost(Host):
         self.current_mss_id = mss_id
         self.last_received_seq = 0
         self.orphaned = False
-        trace = self.network.trace
+        trace = self.network._trace
         if trace.enabled:
             rec_id = trace.emit(
                 "mh.reconnect",

@@ -96,8 +96,8 @@ class MobileSupportStation(Host):
             # A crashed station consumes nothing: messages already in
             # flight toward it (wired or wireless) vanish on arrival.
             self.network.metrics.record_fault("msg.to_crashed_mss")
-            if self.network.trace.enabled:
-                self.network.trace.emit(
+            if self.network._trace_on:
+                self.network._trace.emit(
                     "fault.drop",
                     scope=message.scope,
                     src=message.src,
@@ -279,8 +279,8 @@ class MobileSupportStation(Host):
                 state[name] = share
         was_disconnected = request.mh_id in self.disconnected_mhs
         self.disconnected_mhs.discard(request.mh_id)
-        if self.network.trace.enabled:
-            self.network.trace.emit(
+        if self.network._trace_on:
+            self.network._trace.emit(
                 "mss.handoff",
                 scope=MOBILITY_SCOPE,
                 src=self.host_id,

@@ -39,6 +39,14 @@ class Category(str, Enum):
 
 DEFAULT_SCOPE = "default"
 
+# Hot-path aliases: ``Category.FIXED`` goes through the enum metaclass
+# on every access; the collector records millions of times per run, so
+# bind the members once at import.
+_FIXED = Category.FIXED
+_WIRELESS = Category.WIRELESS
+_SEARCH = Category.SEARCH
+_SEARCH_PROBE = Category.SEARCH_PROBE
+
 
 @dataclass(frozen=True)
 class MetricsSnapshot:
@@ -117,41 +125,59 @@ class MetricsSnapshot:
 
 @dataclass
 class MetricsCollector:
-    """Mutable accumulator for transmission counts and MH energy."""
+    """Mutable accumulator for transmission counts and MH energy.
 
-    _counts: Counter = field(default_factory=Counter)
-    _energy_tx: Counter = field(default_factory=Counter)
-    _energy_rx: Counter = field(default_factory=Counter)
-    _faults: Counter = field(default_factory=Counter)
+    Counters are plain dicts incremented via ``dict.get``: unlike
+    :class:`collections.Counter`, a missing key never dispatches into a
+    Python-level ``__missing__``, which matters because every simulated
+    transmission lands here.
+    """
+
+    _counts: Dict[tuple, int] = field(default_factory=dict)
+    _energy_tx: Dict[str, int] = field(default_factory=dict)
+    _energy_rx: Dict[str, int] = field(default_factory=dict)
+    _faults: Dict[str, int] = field(default_factory=dict)
     _recovery_times: List[float] = field(default_factory=list)
 
     def record_fixed(self, scope: str = DEFAULT_SCOPE, count: int = 1) -> None:
         """Record ``count`` fixed-network messages under ``scope``."""
-        self._counts[(Category.FIXED, scope)] += count
+        counts = self._counts
+        key = (_FIXED, scope)
+        counts[key] = counts.get(key, 0) + count
 
     def record_wireless_tx(
         self, mh_id: str, scope: str = DEFAULT_SCOPE
     ) -> None:
         """Record a wireless transmission originated by MH ``mh_id``."""
-        self._counts[(Category.WIRELESS, scope)] += 1
-        self._energy_tx[mh_id] += 1
+        counts = self._counts
+        key = (_WIRELESS, scope)
+        counts[key] = counts.get(key, 0) + 1
+        energy = self._energy_tx
+        energy[mh_id] = energy.get(mh_id, 0) + 1
 
     def record_wireless_rx(
         self, mh_id: str, scope: str = DEFAULT_SCOPE
     ) -> None:
         """Record a wireless message received by MH ``mh_id``."""
-        self._counts[(Category.WIRELESS, scope)] += 1
-        self._energy_rx[mh_id] += 1
+        counts = self._counts
+        key = (_WIRELESS, scope)
+        counts[key] = counts.get(key, 0) + 1
+        energy = self._energy_rx
+        energy[mh_id] = energy.get(mh_id, 0) + 1
 
     def record_search(self, scope: str = DEFAULT_SCOPE) -> None:
         """Record one abstract search operation."""
-        self._counts[(Category.SEARCH, scope)] += 1
+        counts = self._counts
+        key = (_SEARCH, scope)
+        counts[key] = counts.get(key, 0) + 1
 
     def record_search_probe(
         self, scope: str = DEFAULT_SCOPE, count: int = 1
     ) -> None:
         """Record ``count`` concrete probe messages of a measured search."""
-        self._counts[(Category.SEARCH_PROBE, scope)] += count
+        counts = self._counts
+        key = (_SEARCH_PROBE, scope)
+        counts[key] = counts.get(key, 0) + count
 
     def record_fault(self, name: str, count: int = 1) -> None:
         """Record ``count`` fault/recovery events named ``name``.
@@ -162,7 +188,8 @@ class MetricsCollector:
         the paper's currency; the *recovery traffic* they provoke is
         recorded through the ordinary categories.
         """
-        self._faults[name] += count
+        faults = self._faults
+        faults[name] = faults.get(name, 0) + count
 
     def record_recovery_time(self, duration: float) -> None:
         """Record the time one MSS-crash recovery took (crash until the

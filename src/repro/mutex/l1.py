@@ -151,8 +151,8 @@ class L1Mutex:
         )
 
     def _enter_region(self, mh_id: str) -> None:
-        if self.network.trace.enabled:
-            self.network.trace.emit(
+        if self.network._trace_on:
+            self.network._trace.emit(
                 "cs.enter", scope=self.scope, src=mh_id
             )
         self.resource.enter(mh_id, info={"algorithm": self.scope})
@@ -162,8 +162,8 @@ class L1Mutex:
 
     def _exit_region(self, mh_id: str) -> None:
         self.resource.leave(mh_id)
-        if self.network.trace.enabled:
-            self.network.trace.emit(
+        if self.network._trace_on:
+            self.network._trace.emit(
                 "cs.exit", scope=self.scope, src=mh_id
             )
         mh = self.network.mobile_host(mh_id)

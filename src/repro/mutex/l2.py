@@ -254,8 +254,8 @@ class L2Mutex:
     def _on_grant(self, message: Message) -> None:
         grant: GrantPayload = message.payload
         self.grant_log.append((grant.request_ts, grant.mh_id))
-        if self.network.trace.enabled:
-            self.network.trace.emit(
+        if self.network._trace_on:
+            self.network._trace.emit(
                 "cs.enter",
                 scope=self.scope,
                 src=grant.mh_id,
@@ -271,8 +271,8 @@ class L2Mutex:
 
     def _exit_region(self, grant: GrantPayload) -> None:
         self.resource.leave(grant.mh_id)
-        if self.network.trace.enabled:
-            self.network.trace.emit(
+        if self.network._trace_on:
+            self.network._trace.emit(
                 "cs.exit",
                 scope=self.scope,
                 src=grant.mh_id,

@@ -157,8 +157,8 @@ class R1Mutex:
             return
         if self._wants[mh_id]:
             self._wants[mh_id] = False
-            if self.network.trace.enabled:
-                self.network.trace.emit(
+            if self.network._trace_on:
+                self.network._trace.emit(
                     "cs.enter", scope=self.scope, src=mh_id
                 )
             self.resource.enter(mh_id, info={"algorithm": self.scope})
@@ -170,8 +170,8 @@ class R1Mutex:
 
     def _exit_region(self, mh_id: str, forward: Callable[[], None]) -> None:
         self.resource.leave(mh_id)
-        if self.network.trace.enabled:
-            self.network.trace.emit(
+        if self.network._trace_on:
+            self.network._trace.emit(
                 "cs.exit", scope=self.scope, src=mh_id
             )
         self.completed.append((self.network.scheduler.now, mh_id))

@@ -279,8 +279,8 @@ class R2Mutex:
                 # (delayed or retransmitted): discard it, there is
                 # exactly one live token per epoch.
                 self.network.metrics.record_fault("r2.stale_token")
-                if self.network.trace.enabled:
-                    self.network.trace.emit(
+                if self.network._trace_on:
+                    self.network._trace.emit(
                         "r2.stale_token",
                         scope=self.scope,
                         src=node.node_id,
@@ -347,7 +347,7 @@ class R2Mutex:
         ):
             self.finished = True
             return
-        trace = self.network.trace
+        trace = self.network._trace
         list_before = (
             [list(pair) for pair in token.token_list]
             if trace.enabled
@@ -406,7 +406,7 @@ class R2Mutex:
             forward()
             return
         request = grant_queue.pop(0)
-        trace = self.network.trace
+        trace = self.network._trace
         if trace.enabled:
             grant_id = trace.emit(
                 "token.grant",
@@ -494,8 +494,8 @@ class R2Mutex:
             )
         if self.variant is R2Variant.TOKEN_LIST:
             self._tokens[mss_id].token_list.append((mss_id, mh_id))
-            if self.network.trace.enabled:
-                self.network.trace.emit(
+            if self.network._trace_on:
+                self.network._trace.emit(
                     "token.append",
                     scope=self.scope,
                     src=mss_id,
@@ -575,8 +575,8 @@ class R2Mutex:
         self._epoch += 1
         self.regenerations += 1
         self.network.metrics.record_fault("r2.token_regenerated")
-        if self.network.trace.enabled:
-            self.network.trace.emit(
+        if self.network._trace_on:
+            self.network._trace.emit(
                 "r2.regenerate",
                 scope=self.scope,
                 src=leader,
@@ -628,8 +628,8 @@ class R2Mutex:
         ).crashed:
             self._resubmit_pending.discard(mh_id)
             self.network.metrics.record_fault("r2.request_resubmitted")
-            if self.network.trace.enabled:
-                self.network.trace.emit(
+            if self.network._trace_on:
+                self.network._trace.emit(
                     "r2.resubmit",
                     scope=self.scope,
                     src=mh_id,
@@ -652,8 +652,8 @@ class R2Mutex:
             # grant was in flight; honoring it could overlap with a
             # grant from the live token.  Refuse and ask again.
             self.network.metrics.record_fault("r2.stale_grant")
-            if self.network.trace.enabled:
-                self.network.trace.emit(
+            if self.network._trace_on:
+                self.network._trace.emit(
                     "r2.stale_grant",
                     scope=self.scope,
                     src=grant.mh_id,
@@ -665,8 +665,8 @@ class R2Mutex:
         # R2': on receiving the token the MH adopts the current
         # token_val as its access_count.
         self.access_counts[grant.mh_id] = grant.token_val
-        if self.network.trace.enabled:
-            self.network.trace.emit(
+        if self.network._trace_on:
+            self.network._trace.emit(
                 "cs.enter",
                 scope=self.scope,
                 src=grant.mh_id,
@@ -686,8 +686,8 @@ class R2Mutex:
 
     def _exit_region(self, grant: RingGrantPayload) -> None:
         self.resource.leave(grant.mh_id)
-        if self.network.trace.enabled:
-            self.network.trace.emit(
+        if self.network._trace_on:
+            self.network._trace.emit(
                 "cs.exit",
                 scope=self.scope,
                 src=grant.mh_id,

@@ -20,6 +20,7 @@ from repro.errors import (
 )
 from repro.metrics import MetricsCollector
 from repro.net.config import NetworkConfig
+from repro.net.latency import ConstantLatency
 from repro.net.messages import Message
 from repro.net.search import AbstractSearch, SearchOutcome, SearchProtocol
 from repro.sim import Scheduler
@@ -73,10 +74,68 @@ class Network:
         self.faults: Optional["FaultInjector"] = None
         #: reliable-delivery layer wrapping :meth:`send_fixed`.
         self.reliable: Optional["ReliableTransport"] = None
-        #: trace sink; the shared no-op tracer unless a
-        #: :class:`~repro.trace.Tracer` is installed.  A pure observer:
-        #: swapping it never changes costs, ordering, or randomness.
-        self.trace = NULL_TRACER
+        # Trace sink (behind the ``trace`` property): the shared no-op
+        # tracer unless a Tracer is installed.  ``_trace_on`` mirrors
+        # ``trace.enabled`` as a plain bool so per-message guards are a
+        # single attribute load instead of null-object dispatch.
+        self._trace = NULL_TRACER
+        self._trace_on = False
+        # Fast-path state derived once (refreshed on trace/faults
+        # installation): constant-latency values, and the monomorphic
+        # raw fixed-send implementation.
+        self._fixed_const: Optional[float] = None
+        self._wireless_const: Optional[float] = None
+        self._refresh_fast_paths()
+
+    # ------------------------------------------------------------------
+    # Fast-path wiring
+    # ------------------------------------------------------------------
+
+    @property
+    def trace(self):
+        """The trace sink (a :class:`~repro.trace.Tracer` or the shared
+        no-op tracer).  A pure observer: swapping it never changes
+        costs, ordering, or randomness.  Assigning here rebinds the
+        network's fast paths, so always install tracers via this
+        attribute."""
+        return self._trace
+
+    @trace.setter
+    def trace(self, tracer) -> None:
+        self._trace = tracer
+        self._refresh_fast_paths()
+
+    def _refresh_fast_paths(self) -> None:
+        """Re-derive the precomputed hot-path state.
+
+        Called whenever a tracer or fault injector is installed (and
+        once at construction).  Latency models are sampled from
+        :attr:`config` here: replacing ``config`` or its latency models
+        after construction must be followed by another call (repo code
+        never does; the supported idiom is constructing a fresh
+        :class:`Network`).
+        """
+        self._trace_on = bool(getattr(self._trace, "enabled", True))
+        fixed = self.config.fixed_latency
+        self._fixed_const = (
+            fixed.value if isinstance(fixed, ConstantLatency) else None
+        )
+        wireless = self.config.wireless_latency
+        self._wireless_const = (
+            wireless.value if isinstance(wireless, ConstantLatency) else None
+        )
+        # The monomorphic raw-send: when nothing can observe or perturb
+        # a fixed-network transmission (no tracer, no fault injector,
+        # constant latency), bind the branch-free fast variant once
+        # instead of re-deciding per message.
+        if (
+            self._trace_on
+            or self.faults is not None
+            or self._fixed_const is None
+        ):
+            self._send_fixed_raw = self._send_fixed_raw_general
+        else:
+            self._send_fixed_raw = self._send_fixed_raw_fast
 
     # ------------------------------------------------------------------
     # Registration and lookup
@@ -136,6 +195,7 @@ class Network:
             raise SimulationError("fault injector already installed")
         self.faults = injector
         injector.bind(self)
+        self._refresh_fast_paths()
 
     def install_reliable(self, **kwargs: object) -> "ReliableTransport":
         """Install the reliable-delivery layer over the fixed network.
@@ -182,8 +242,8 @@ class Network:
         """
         dst = self.mss(message.dst)
         if message.src == message.dst:
-            if self.trace.enabled:
-                message.trace_id = self.trace.emit(
+            if self._trace_on:
+                message.trace_id = self._trace.emit(
                     "send.local",
                     scope=message.scope,
                     src=message.src,
@@ -198,7 +258,30 @@ class Network:
             return
         self._send_fixed_raw(message)
 
-    def _send_fixed_raw(self, message: Message) -> None:
+    def _send_fixed_raw_fast(self, message: Message) -> None:
+        """Monomorphic fast raw-send (see :meth:`_refresh_fast_paths`).
+
+        Bound as ``_send_fixed_raw`` only when no tracer is enabled, no
+        fault injector is installed (so no MSS can be crashed), and the
+        fixed latency is constant (so no RNG draw happens either way) --
+        under those preconditions this is step-for-step identical to
+        :meth:`_send_fixed_raw_general`, minus the dead branches.
+        """
+        try:
+            dst = self._mss[message.dst]
+        except KeyError:
+            raise UnknownHostError(f"unknown MSS: {message.dst}") from None
+        self.metrics.record_fixed(message.scope)
+        key = (message.src, message.dst)
+        arrival = self.scheduler.now + self._fixed_const
+        last = self._last_arrival
+        previous = last.get(key)
+        if previous is not None and previous > arrival:
+            arrival = previous
+        last[key] = arrival
+        self.scheduler.schedule_at(arrival, dst.handle_message, message)
+
+    def _send_fixed_raw_general(self, message: Message) -> None:
         """One physical transmission attempt on the fixed network.
 
         Records the cost, then consults the fault injector: the message
@@ -208,8 +291,8 @@ class Network:
         """
         dst = self.mss(message.dst)
         self.metrics.record_fixed(message.scope)
-        if self.trace.enabled:
-            message.trace_id = self.trace.emit(
+        if self._trace_on:
+            message.trace_id = self._trace.emit(
                 "send.fixed",
                 scope=message.scope,
                 category="fixed",
@@ -221,8 +304,8 @@ class Network:
             # A crashed station transmits nothing; the message (already
             # charged) vanishes on the wire.
             self.metrics.record_fault("fixed.dropped_src_crashed")
-            if self.trace.enabled:
-                self.trace.emit(
+            if self._trace_on:
+                self._trace.emit(
                     "fault.drop",
                     scope=message.scope,
                     src=message.src,
@@ -238,8 +321,8 @@ class Network:
             decision = self.faults.decide_fixed(message)
             if decision.drop:
                 self.metrics.record_fault(decision.reason)
-                if self.trace.enabled:
-                    self.trace.emit(
+                if self._trace_on:
+                    self._trace.emit(
                         "fault.drop",
                         scope=message.scope,
                         src=message.src,
@@ -251,8 +334,8 @@ class Network:
                 return
             extra_delay = decision.extra_delay
             duplicates = decision.duplicates
-            if self.trace.enabled and duplicates:
-                self.trace.emit(
+            if self._trace_on and duplicates:
+                self._trace.emit(
                     "fault.duplicate",
                     scope=message.scope,
                     src=message.src,
@@ -261,9 +344,11 @@ class Network:
                     parent=message.trace_id,
                     copies=duplicates,
                 )
+        latency = self._fixed_const
+        if latency is None:
+            latency = self.config.fixed_latency(self.rng)
         arrival = self._fifo_arrival(
-            (message.src, message.dst),
-            self.config.fixed_latency(self.rng) + extra_delay,
+            (message.src, message.dst), latency + extra_delay
         )
         self.scheduler.schedule_at(arrival, dst.handle_message, message)
         for _ in range(duplicates):
@@ -303,8 +388,8 @@ class Network:
             # is lost on the spot (no cost: nothing was transmitted).
             self.lost_wireless_messages += 1
             self.metrics.record_fault("wireless.dropped_src_crashed")
-            if self.trace.enabled:
-                self.trace.emit(
+            if self._trace_on:
+                self._trace.emit(
                     "wireless.lost",
                     scope=message.scope,
                     src=mss_id,
@@ -325,8 +410,8 @@ class Network:
         message.wireless_seq = seq
         session = mh.session
         self.metrics.record_wireless_rx(mh_id, message.scope)
-        if self.trace.enabled:
-            message.trace_id = self.trace.emit(
+        if self._trace_on:
+            message.trace_id = self._trace.emit(
                 "send.wireless_down",
                 scope=message.scope,
                 category="wireless",
@@ -334,9 +419,10 @@ class Network:
                 dst=mh_id,
                 kind=message.kind,
             )
-        arrival = self._fifo_arrival(
-            key, self.config.wireless_latency(self.rng)
-        )
+        latency = self._wireless_const
+        if latency is None:
+            latency = self.config.wireless_latency(self.rng)
+        arrival = self._fifo_arrival(key, latency)
         self.scheduler.schedule_at(
             arrival,
             self._deliver_downlink,
@@ -364,8 +450,8 @@ class Network:
         )
         if not still_here:
             self.lost_wireless_messages += 1
-            if self.trace.enabled:
-                self.trace.emit(
+            if self._trace_on:
+                self._trace.emit(
                     "wireless.lost",
                     scope=message.scope,
                     src=mss_id,
@@ -397,8 +483,8 @@ class Network:
         mss = self.mss(mh.current_mss_id)
         message.dst = mss.host_id
         self.metrics.record_wireless_tx(mh_id, message.scope)
-        if self.trace.enabled:
-            message.trace_id = self.trace.emit(
+        if self._trace_on:
+            message.trace_id = self._trace.emit(
                 "send.wireless_up",
                 scope=message.scope,
                 category="wireless",
@@ -406,9 +492,10 @@ class Network:
                 dst=mss.host_id,
                 kind=message.kind,
             )
-        arrival = self._fifo_arrival(
-            (mh_id, mss.host_id), self.config.wireless_latency(self.rng)
-        )
+        latency = self._wireless_const
+        if latency is None:
+            latency = self.config.wireless_latency(self.rng)
+        arrival = self._fifo_arrival((mh_id, mss.host_id), latency)
         self.scheduler.schedule_at(arrival, mss.handle_message, message)
 
     # ------------------------------------------------------------------
@@ -441,8 +528,8 @@ class Network:
         cap = self.config.mh_delivery_max_attempts
         if cap is not None and _attempts > cap:
             self.metrics.record_fault("send_to_mh.gave_up")
-            if self.trace.enabled:
-                self.trace.emit(
+            if self._trace_on:
+                self._trace.emit(
                     "send_to_mh.gave_up",
                     scope=message.scope,
                     src=src_mss_id,
@@ -516,8 +603,8 @@ class Network:
                 on_delivered=on_delivered,
             )
 
-        if self.trace.enabled:
-            begin_id = self.trace.emit(
+        if self._trace_on:
+            begin_id = self._trace.emit(
                 "search.begin",
                 scope=message.scope,
                 src=src_mss_id,
@@ -528,7 +615,7 @@ class Network:
             inner_outcome = on_outcome
 
             def on_outcome(outcome: SearchOutcome) -> None:
-                result_id = self.trace.emit(
+                result_id = self._trace.emit(
                     "search.result",
                     scope=message.scope,
                     src=src_mss_id,
@@ -538,10 +625,10 @@ class Network:
                     disconnected=outcome.disconnected,
                     probes=outcome.probes,
                 )
-                with self.trace.context(result_id):
+                with self._trace.context(result_id):
                     inner_outcome(outcome)
 
-            with self.trace.context(begin_id):
+            with self._trace.context(begin_id):
                 self.search_protocol.search(
                     self, src_mss_id, mh_id, message.scope, on_outcome
                 )

@@ -136,7 +136,7 @@ class ReliableTransport:
         tx = self._tx.setdefault(channel, _TxChannel())
         seq = tx.next_seq
         tx.next_seq += 1
-        trace = self.network.trace
+        trace = self.network._trace
         if trace.enabled:
             # Logical send: the protocol-level receive at the far end
             # parents to this event, so causality survives however many
@@ -163,8 +163,8 @@ class ReliableTransport:
         if attempt > 0:
             self.retransmits += 1
             self.network.metrics.record_fault("rel.retransmit")
-            if self.network.trace.enabled:
-                self.network.trace.emit(
+            if self.network._trace_on:
+                self.network._trace.emit(
                     "rel.retransmit",
                     scope=inner.scope,
                     src=src,
@@ -202,9 +202,9 @@ class ReliableTransport:
             tx.given_up += 1
             self.gave_up += 1
             self.network.metrics.record_fault("rel.give_up")
-            if self.network.trace.enabled:
+            if self.network._trace_on:
                 inner = envelope.payload.inner
-                self.network.trace.emit(
+                self.network._trace.emit(
                     "rel.give_up",
                     scope=inner.scope,
                     src=channel[0],
@@ -256,8 +256,8 @@ class ReliableTransport:
             else:
                 self.gaps_skipped += 1
                 self.network.metrics.record_fault("rel.gap_skipped")
-                if self.network.trace.enabled:
-                    self.network.trace.emit(
+                if self.network._trace_on:
+                    self.network._trace.emit(
                         "rel.gap_skipped",
                         scope=message.scope,
                         src=message.src,
@@ -268,8 +268,8 @@ class ReliableTransport:
         if data.seq < rx.next_expected or data.seq in rx.buffered:
             self.duplicates_suppressed += 1
             self.network.metrics.record_fault("rel.dup_suppressed")
-            if self.network.trace.enabled:
-                self.network.trace.emit(
+            if self.network._trace_on:
+                self.network._trace.emit(
                     "rel.dup_suppressed",
                     scope=message.scope,
                     src=message.src,

@@ -116,8 +116,8 @@ class AbstractSearch(SearchProtocol):
         callback: Callable[[SearchOutcome], None],
     ) -> None:
         network.metrics.record_search(scope)
-        if network.trace.enabled:
-            network.trace.emit(
+        if network._trace_on:
+            network._trace.emit(
                 "search.charge",
                 scope=scope,
                 category="search",
@@ -206,8 +206,8 @@ class BroadcastSearch(SearchProtocol):
         # one that saw the disconnect) replies.  Probes = queries + reply.
         probes = len(others) + 1
         network.metrics.record_search_probe(scope, count=probes)
-        if network.trace.enabled:
-            network.trace.emit(
+        if network._trace_on:
+            network._trace.emit(
                 "search.probes",
                 scope=scope,
                 category="search_probe",
@@ -318,8 +318,8 @@ class HomeAgentSearch(SearchProtocol):
     ) -> None:
         # Query + reply to the home agent.
         network.metrics.record_search_probe(scope, count=2)
-        if network.trace.enabled:
-            network.trace.emit(
+        if network._trace_on:
+            network._trace.emit(
                 "search.probes",
                 scope=scope,
                 category="search_probe",

@@ -1,0 +1,40 @@
+"""Performance harness: curated scenarios, BENCH records, regression
+gates.
+
+See :mod:`repro.perf.scenarios` for the workloads and
+:mod:`repro.perf.harness` for measurement and comparison; the shell
+entry point is ``tools/perf_harness.py`` (docs in
+``docs/performance.md``).
+"""
+
+from repro.perf.harness import (
+    Delta,
+    ScenarioResult,
+    calibrate,
+    check_regressions,
+    compare,
+    delta_table,
+    find_previous_bench,
+    load_bench,
+    run_scenario,
+    run_suite,
+    write_bench,
+)
+from repro.perf.scenarios import SCENARIOS, Scenario, scenario_names
+
+__all__ = [
+    "Delta",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioResult",
+    "calibrate",
+    "check_regressions",
+    "compare",
+    "delta_table",
+    "find_previous_bench",
+    "load_bench",
+    "run_scenario",
+    "run_suite",
+    "scenario_names",
+    "write_bench",
+]

@@ -1,0 +1,244 @@
+"""Curated performance scenarios for the benchmark harness.
+
+Each scenario is a self-contained, fully deterministic simulation run
+mirroring one of the ``benchmarks/bench_*.py`` workloads.  Scenarios
+return the number of scheduler events they processed; the harness
+divides by wall time to get the events/sec figure every ``BENCH_*.json``
+entry and the CI regression gate are built on.
+
+Determinism matters twice here: repeated runs of one scenario must
+process the *same* number of events (the harness asserts this, so a
+perf run doubles as a substrate-determinism check), and optimizations
+to the substrate must never change the count (wall time is the only
+thing allowed to move).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.facade import Simulation
+from repro.faults import FaultPlan, LinkFault
+from repro.metrics import CostModel
+from repro.mobility import UniformMobility
+from repro.mutex import CriticalResource, L2Mutex
+from repro.net import ConstantLatency, NetworkConfig
+from repro.net.messages import Message
+from repro.sim import PoissonProcess, Scheduler
+from repro.workload import MutexWorkload
+
+#: cost model shared by every scenario (same as ``benchmarks/conftest``).
+COSTS = CostModel(c_fixed=1.0, c_wireless=5.0, c_search=10.0)
+
+
+def _make_sim(n_mss: int, n_mh: int, seed: int, **kwargs) -> Simulation:
+    config = NetworkConfig(
+        fixed_latency=ConstantLatency(1.0),
+        wireless_latency=ConstantLatency(0.5),
+    )
+    return Simulation(
+        n_mss=n_mss,
+        n_mh=n_mh,
+        seed=seed,
+        cost_model=COSTS,
+        config=config,
+        **kwargs,
+    )
+
+
+def loaded_system(n_mss: int, n_mh: int, duration: float = 150.0,
+                  request_rate: float = 0.05, move_rate: float = 0.02) -> int:
+    """The ``bench_scale.py`` workload: L2 mutex traffic plus mobility.
+
+    This is the harness's headline scenario (at M=10, N=200): a system
+    saturated with mutual-exclusion requests while every MH wanders,
+    exercising the fixed-network send path, the wireless cell, the
+    scheduler, and the metrics counters together.
+    """
+    sim = _make_sim(n_mss, n_mh, seed=3)
+    resource = CriticalResource(sim.scheduler)
+    mutex = L2Mutex(sim.network, resource, cs_duration=0.3)
+    workload = MutexWorkload(sim.network, mutex, sim.mh_ids,
+                             request_rate=request_rate,
+                             rng=random.Random(4))
+    mobility = UniformMobility(sim.network, sim.mh_ids, move_rate,
+                               rng=random.Random(5))
+    sim.run(until=duration)
+    workload.stop()
+    mobility.stop()
+    sim.drain()
+    resource.assert_no_overlap()
+    return sim.scheduler.events_processed
+
+
+def search_messaging(n_mss: int, n_mh: int, duration: float = 120.0,
+                     rate: float = 0.4) -> int:
+    """Broadcast-search ``send_to_mh`` traffic with mobility.
+
+    Mirrors the location-strategy benches (``bench_a1`` /
+    ``bench_e7``): MSSs keep sending application messages to moving
+    MHs, so every delivery pays a search, a forward, and a wireless
+    hop -- the paper's C_search / C_wireless tradeoff as a hot loop.
+    """
+    sim = _make_sim(n_mss, n_mh, seed=11, search="broadcast")
+    rng = random.Random(13)
+    delivered = [0]
+    for i in range(n_mh):
+        sim.mh(i).register_handler("app.ping", lambda msg: None)
+
+    def send_one() -> None:
+        src = sim.mss_id(rng.randrange(n_mss))
+        dst = sim.mh_id(rng.randrange(n_mh))
+        message = Message(src=src, dst=dst, kind="app.ping",
+                          scope="perf", payload=None)
+        sim.network.send_to_mh(
+            src, dst, message,
+            on_delivered=lambda _m: delivered.__setitem__(0, delivered[0] + 1),
+        )
+
+    driver = PoissonProcess(sim.scheduler, rate, send_one,
+                            rng=random.Random(17))
+    mobility = UniformMobility(sim.network, sim.mh_ids, 0.02,
+                               rng=random.Random(19))
+    sim.run(until=duration)
+    driver.stop()
+    mobility.stop()
+    sim.drain()
+    if delivered[0] == 0:
+        raise AssertionError("search_messaging delivered nothing")
+    return sim.scheduler.events_processed
+
+
+def reliable_churn(n_mss: int, n_mh: int, duration: float = 120.0) -> int:
+    """Lossy fixed links under the reliable transport (``bench_a8``'s
+    regime, minus crashes): every send arms a retransmit timer that an
+    ack later cancels, making this the cancellation-heavy workload the
+    scheduler's lazy-deletion path is optimized for."""
+    plan = FaultPlan(
+        link_faults=(LinkFault(drop=0.05),),
+        seed=23,
+        reliable=True,
+        retransmit_timeout=4.0,
+    )
+    sim = _make_sim(n_mss, n_mh, seed=29)
+    from repro.faults import apply_fault_plan
+
+    apply_fault_plan(sim.network, plan)
+    resource = CriticalResource(sim.scheduler)
+    mutex = L2Mutex(sim.network, resource, cs_duration=0.3)
+    workload = MutexWorkload(sim.network, mutex, sim.mh_ids,
+                             request_rate=0.05, rng=random.Random(31))
+    sim.run(until=duration)
+    workload.stop()
+    sim.drain()
+    return sim.scheduler.events_processed
+
+
+def cancel_storm(n_events: int = 400_000) -> int:
+    """Pure scheduler stress: schedule in waves, cancel most events
+    before they fire.  Isolates heap push/pop and the lazy-cancellation
+    counter from any protocol logic."""
+    sched = Scheduler()
+    fired = [0]
+
+    def bump() -> None:
+        fired[0] += 1
+
+    rng = random.Random(37)
+    pending = []
+    for i in range(n_events):
+        event = sched.schedule(1.0 + (i % 977) * 0.001, bump)
+        pending.append(event)
+        if len(pending) >= 64:
+            # Cancel ~three quarters of each wave, deterministically.
+            for victim in pending:
+                if rng.random() < 0.75:
+                    victim.cancel()
+            pending.clear()
+            sched.run(until=sched.now + 0.25)
+    sched.drain(max_events=n_events + 1)
+    if fired[0] == 0:
+        raise AssertionError("cancel_storm fired nothing")
+    return sched.events_processed
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, deterministic perf workload.
+
+    Attributes:
+        name: registry key (also the ``BENCH_*.json`` key).
+        description: one-line summary shown by ``--list``.
+        run: zero-argument callable; returns events processed.
+        smoke: cheap enough for the CI ``perf-smoke`` regression gate.
+        tags: free-form labels (``"mutex"``, ``"search"``, ...).
+    """
+
+    name: str
+    description: str
+    run: Callable[[], int]
+    smoke: bool = False
+    tags: Tuple[str, ...] = field(default=())
+
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def _register(scenario: Scenario) -> None:
+    if scenario.name in SCENARIOS:  # pragma: no cover - registry bug
+        raise ValueError(f"duplicate scenario: {scenario.name}")
+    SCENARIOS[scenario.name] = scenario
+
+
+_register(Scenario(
+    name="scale_m10_n200",
+    description="bench_scale loaded system at M=10, N=200 "
+                "(L2 mutex + mobility)",
+    run=lambda: loaded_system(10, 200, 1200.0),
+    tags=("mutex", "mobility", "headline"),
+))
+_register(Scenario(
+    name="scale_m16_n320",
+    description="bench_scale loaded system at M=16, N=320",
+    run=lambda: loaded_system(16, 320, 400.0),
+    tags=("mutex", "mobility"),
+))
+_register(Scenario(
+    name="smoke_scale",
+    description="small loaded system (M=6, N=40) for the CI gate",
+    run=lambda: loaded_system(6, 40, 2000.0),
+    smoke=True,
+    tags=("mutex", "mobility", "smoke"),
+))
+_register(Scenario(
+    name="smoke_search",
+    description="broadcast-search send_to_mh traffic (M=6, N=30) "
+                "for the CI gate",
+    run=lambda: search_messaging(6, 30, 600.0, rate=2.0),
+    smoke=True,
+    tags=("search", "smoke"),
+))
+_register(Scenario(
+    name="reliable_churn",
+    description="lossy links under the reliable transport "
+                "(retransmit-timer cancellation churn)",
+    run=lambda: reliable_churn(8, 60, 300.0),
+    tags=("faults", "reliable"),
+))
+_register(Scenario(
+    name="cancel_storm",
+    description="pure scheduler stress: waves of mostly-cancelled "
+                "events",
+    run=lambda: cancel_storm(400_000),
+    tags=("scheduler",),
+))
+
+
+def scenario_names(smoke_only: bool = False) -> List[str]:
+    """Registry keys, in registration order."""
+    return [
+        name for name, scenario in SCENARIOS.items()
+        if scenario.smoke or not smoke_only
+    ]

@@ -4,6 +4,20 @@ The scheduler is the single source of simulated time.  Events are
 callbacks scheduled at absolute times; ties are broken by insertion
 order, which makes every run fully deterministic for a fixed seed and
 call sequence.
+
+Hot-path design (this is the innermost loop of every simulation):
+
+* Heap entries are plain ``(time, seq, event)`` tuples.  ``seq`` is
+  unique, so comparisons resolve on the first two slots in C-level
+  tuple comparison and the :class:`Event` object itself is never
+  compared -- no Python-level ``__lt__`` dispatch per sift step.
+* Cancellation is lazy with an exact live counter: ``cancel()``
+  increments ``_n_cancelled`` while the entry stays in the heap, pops
+  decrement it, so :attr:`pending_count` and :meth:`drain` are O(1)
+  instead of scanning the heap.  When cancelled entries outnumber live
+  ones the heap is compacted in place, keeping memory and pop cost
+  proportional to the live population even under cancel-heavy
+  workloads (retransmit timers, stopped processes).
 """
 
 from __future__ import annotations
@@ -21,7 +35,7 @@ class Event:
     :meth:`Scheduler.schedule` and may be cancelled before they fire.
     """
 
-    __slots__ = ("time", "seq", "action", "args", "cancelled")
+    __slots__ = ("time", "seq", "action", "args", "cancelled", "_scheduler")
 
     def __init__(
         self,
@@ -29,21 +43,25 @@ class Event:
         seq: int,
         action: Callable[..., Any],
         args: tuple,
+        scheduler: Optional["Scheduler"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.action = action
         self.args = args
         self.cancelled = False
+        # Back-reference used only to keep the scheduler's cancelled
+        # counter exact; cleared when the entry leaves the heap so a
+        # late cancel() of an already-fired event cannot skew it.
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
+        if not self.cancelled:
+            self.cancelled = True
+            scheduler = self._scheduler
+            if scheduler is not None:
+                scheduler._note_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
@@ -61,11 +79,16 @@ class Scheduler:
     * :attr:`now` never moves backwards.
     """
 
+    #: compaction only kicks in past this many cancelled entries, so
+    #: small heaps never pay the rebuild.
+    _COMPACT_MIN = 64
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list = []
         self._seq = 0
         self.now: float = 0.0
         self._events_processed = 0
+        self._n_cancelled = 0
         self._running = False
 
     @property
@@ -75,8 +98,34 @@ class Scheduler:
 
     @property
     def pending_count(self) -> int:
-        """Number of scheduled, not-yet-fired, not-cancelled events."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of scheduled, not-yet-fired, not-cancelled events.
+
+        O(1): maintained via the live cancellation counter rather than
+        a heap scan.
+        """
+        return len(self._heap) - self._n_cancelled
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping for one newly cancelled in-heap entry."""
+        self._n_cancelled += 1
+        if (
+            self._n_cancelled > self._COMPACT_MIN
+            and self._n_cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In-place (slice assignment) so aliases of ``_heap`` held by a
+        running loop stay valid.  Rebuilding preserves the firing order
+        exactly: ``(time, seq)`` keys are unique, so the heap's pop
+        sequence is the sorted order regardless of layout.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._n_cancelled = 0
 
     def schedule_at(
         self, time: float, action: Callable[..., Any], *args: Any
@@ -86,9 +135,10 @@ class Scheduler:
             raise ConfigurationError(
                 f"cannot schedule event at t={time} before now={self.now}"
             )
-        event = Event(time, self._seq, action, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, action, args, self)
+        heapq.heappush(self._heap, (time, seq, event))
         return event
 
     def schedule(
@@ -105,10 +155,13 @@ class Scheduler:
         Returns ``True`` if an event fired, ``False`` if the queue was
         empty (cancelled events are skipped silently).
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if event.cancelled:
+                self._n_cancelled -= 1
                 continue
+            event._scheduler = None
             if event.time < self.now:  # pragma: no cover - defensive
                 raise SimulationError("event time moved backwards")
             self.now = event.time
@@ -134,18 +187,31 @@ class Scheduler:
             raise SimulationError("scheduler is not reentrant")
         self._running = True
         fired = 0
+        # The heap list is aliased for speed; _compact mutates it in
+        # place, so the alias stays valid across callbacks.
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap:
+            while heap:
                 if max_events is not None and fired >= max_events:
                     return fired
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
+                entry = heap[0]
+                event = entry[2]
+                if event.cancelled:
+                    heappop(heap)
+                    self._n_cancelled -= 1
                     continue
-                if until is not None and head.time > until:
+                time = entry[0]
+                if until is not None and time > until:
                     break
-                if self.step():
-                    fired += 1
+                heappop(heap)
+                event._scheduler = None
+                if time < self.now:  # pragma: no cover - defensive
+                    raise SimulationError("event time moved backwards")
+                self.now = time
+                self._events_processed += 1
+                event.action(*event.args)
+                fired += 1
             if until is not None and until > self.now:
                 self.now = until
             return fired
@@ -159,7 +225,7 @@ class Scheduler:
         always indicates a livelock (e.g. two hosts bouncing a message).
         """
         fired = self.run(max_events=max_events)
-        if self._heap and any(not ev.cancelled for ev in self._heap):
+        if self.pending_count:
             raise SimulationError(
                 f"drain() exceeded {max_events} events; likely livelock"
             )

@@ -33,7 +33,7 @@ from typing import Any, Dict, List, Optional
 from repro.sim import Scheduler
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """One observed step of a protocol execution.
 

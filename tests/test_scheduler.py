@@ -170,3 +170,103 @@ def test_property_ties_break_by_insertion_order(items):
     # Stable sort of the insertion sequence by delay equals firing order.
     expected = sorted(items, key=lambda pair: pair[0])
     assert fired == expected
+
+
+# ----------------------------------------------------------------------
+# Lazy cancellation and heap compaction
+# ----------------------------------------------------------------------
+
+def test_pending_count_exact_under_cancellation():
+    sched = Scheduler()
+    events = [sched.schedule(float(i), lambda: None) for i in range(100)]
+    assert sched.pending_count == 100
+    for event in events[::2]:
+        event.cancel()
+    assert sched.pending_count == 50
+    # Cancelling twice changes nothing.
+    events[0].cancel()
+    assert sched.pending_count == 50
+    sched.drain()
+    assert sched.pending_count == 0
+    assert sched.events_processed == 50
+
+
+def test_compaction_shrinks_heap_under_heavy_cancellation():
+    sched = Scheduler()
+    events = [sched.schedule(float(i), lambda: None) for i in range(1000)]
+    for event in events[:900]:
+        event.cancel()
+    # Cancelled entries outnumbered live ones long ago, so the heap
+    # must have been compacted well below the 1000 pushed entries.
+    assert len(sched._heap) < 500
+    assert sched.pending_count == 100
+    sched.drain()
+    assert sched.events_processed == 100
+
+
+def test_cancel_after_fire_is_harmless():
+    sched = Scheduler()
+    event = sched.schedule(1.0, lambda: None)
+    live = sched.schedule(2.0, lambda: None)
+    sched.step()
+    # The event already fired; a late cancel must not skew the
+    # pending-count bookkeeping of the entries still in the heap.
+    event.cancel()
+    assert sched.pending_count == 1
+    sched.drain()
+    assert sched.events_processed == 2
+    assert not live.cancelled
+
+
+def test_cancel_during_run_skips_event():
+    sched = Scheduler()
+    fired = []
+    victim = sched.schedule(2.0, fired.append, "victim")
+    sched.schedule(1.0, victim.cancel)
+    sched.schedule(3.0, fired.append, "survivor")
+    sched.drain()
+    assert fired == ["survivor"]
+
+
+def test_compaction_during_run_preserves_order():
+    # A callback cancels enough future events to trigger in-place
+    # compaction while run() holds an alias of the heap; the remaining
+    # events must still fire in order.
+    sched = Scheduler()
+    fired = []
+    victims = [
+        sched.schedule(10.0 + i * 0.25, fired.append, ("victim", i))
+        for i in range(500)
+    ]
+
+    def massacre():
+        for event in victims:
+            event.cancel()
+
+    sched.schedule(1.0, massacre)
+    keepers = [5.0, 12.0, 400.0]
+    for t in keepers:
+        sched.schedule(t, fired.append, ("keeper", t))
+    sched.drain()
+    assert fired == [("keeper", t) for t in keepers]
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=50),
+                          st.booleans()), max_size=60))
+def test_property_order_survives_random_cancels(items):
+    sched = Scheduler()
+    fired = []
+    events = []
+    for delay, _ in items:
+        events.append(sched.schedule(delay, fired.append, delay))
+    for event, (_, cancel) in zip(events, items):
+        if cancel:
+            event.cancel()
+    sched.drain()
+    # Stable sort of the survivors by delay equals firing order.
+    expected = [d for d, _ in sorted(
+        [(d, i) for i, (d, c) in enumerate(items) if not c],
+        key=lambda pair: (pair[0], pair[1]),
+    )]
+    assert fired == expected
+    assert sched.pending_count == 0

@@ -94,3 +94,57 @@ def test_property_shift_invariance_of_stdev(values, shift):
     shifted = summarize([v + shift for v in values])
     assert shifted.stdev == pytest.approx(base.stdev, abs=1e-6)
     assert shifted.mean == pytest.approx(base.mean + shift, abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Welford accuracy and parallel sweeps
+# ----------------------------------------------------------------------
+
+def test_summarize_large_offset_stays_accurate():
+    # A naive one-pass sum-of-squares (E[x^2] - mean^2) catastrophically
+    # cancels when the sample shares a large offset; Welford must not.
+    offset = 1e9
+    values = [offset + 1.0, offset + 2.0, offset + 3.0]
+    summary = summarize(values)
+    assert summary.mean == pytest.approx(offset + 2.0)
+    assert summary.stdev == pytest.approx(1.0)
+
+    n = len(values)
+    naive_var = sum(v * v for v in values) / (n - 1) - (
+        n / (n - 1)
+    ) * (sum(values) / n) ** 2
+    # The naive formula is visibly wrong here (negative or off by >10%),
+    # which is exactly why summarize uses Welford's update.
+    assert naive_var < 0 or abs(naive_var - 1.0) > 0.1
+
+
+def test_summarize_constant_sample_has_zero_stdev():
+    summary = summarize([7.25] * 10)
+    assert summary.stdev == 0.0
+    assert summary.minimum == summary.maximum == 7.25
+
+
+def test_summarize_single_pass_consumes_iterators():
+    summary = summarize(iter([1.0, 2.0, 3.0]))
+    assert summary.mean == 2.0
+    assert summary.n == 3
+
+
+def _grid_experiment(parameter, seed):
+    # Module-level so it pickles into worker processes.
+    return parameter * 100.0 + seed * 3.0
+
+
+def test_sweep_parallel_matches_serial_exactly():
+    parameters = [1, 2, 3, 4]
+    seeds = [0, 1, 2, 3, 4]
+    serial = sweep(_grid_experiment, parameters, seeds, workers=1)
+    parallel = sweep(_grid_experiment, parameters, seeds, workers=4)
+    assert list(serial) == list(parallel)
+    for parameter in parameters:
+        assert serial[parameter] == parallel[parameter]
+
+
+def test_sweep_rejects_bad_worker_count():
+    with pytest.raises(ConfigurationError):
+        sweep(_grid_experiment, [1], seeds=[0], workers=0)

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Run the perf harness from a shell: measure, record, compare, gate.
+
+Thin wrapper over :mod:`repro.perf` (docs: ``docs/performance.md``).
+
+    # full suite, write the trajectory record, diff against the last one
+    PYTHONPATH=src python tools/perf_harness.py --out BENCH_5.json \
+        --baseline auto
+
+    # the CI regression gate (exit 1 on >30% normalized regression)
+    PYTHONPATH=src python tools/perf_harness.py --smoke --repeats 3 \
+        --baseline BENCH_4.json --check --max-regression 0.30 \
+        --out bench-ci.json
+
+    PYTHONPATH=src python tools/perf_harness.py --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                 "src"),
+)
+
+from repro.errors import ConfigurationError  # noqa: E402
+from repro.perf import (  # noqa: E402
+    SCENARIOS,
+    check_regressions,
+    compare,
+    delta_table,
+    find_previous_bench,
+    load_bench,
+    run_suite,
+    scenario_names,
+    write_bench,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="perf_harness",
+        description="Measure the simulation substrate's events/sec on "
+                    "curated scenarios and gate regressions.",
+    )
+    parser.add_argument("--list", action="store_true",
+                        help="list scenarios and exit")
+    parser.add_argument("--scenarios", default=None, metavar="A,B,...",
+                        help="comma-separated scenario names "
+                             "(default: all)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run only the cheap CI-gate scenarios")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repeats per scenario, best-of (default 3)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the BENCH json record to PATH")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="BENCH json to diff against; 'auto' picks "
+                             "the highest-numbered BENCH_<n>.json in "
+                             "the repo root")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if any scenario regresses beyond "
+                             "--max-regression vs --baseline")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="tolerated fractional slowdown "
+                             "(default 0.30)")
+    parser.add_argument("--no-normalize", action="store_true",
+                        help="compare raw events/sec instead of "
+                             "calibration-normalized scores")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in scenario_names():
+            scenario = SCENARIOS[name]
+            tag = " [smoke]" if scenario.smoke else ""
+            print(f"{name:<18} {scenario.description}{tag}")
+        return 0
+
+    if args.scenarios and args.smoke:
+        print("error: --scenarios and --smoke are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.smoke:
+        names = scenario_names(smoke_only=True)
+    elif args.scenarios:
+        names = [n.strip() for n in args.scenarios.split(",") if n.strip()]
+    else:
+        names = scenario_names()
+
+    baseline = None
+    baseline_path = args.baseline
+    if baseline_path == "auto":
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        baseline_path = find_previous_bench(root)
+        if baseline_path is None:
+            print("note: no BENCH_<n>.json found; running without a "
+                  "baseline")
+    if baseline_path:
+        baseline = load_bench(baseline_path)
+
+    try:
+        record = run_suite(names, repeats=args.repeats, progress=print)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if baseline is not None:
+        deltas = compare(record, baseline)
+        print()
+        print(f"vs baseline {baseline_path}:")
+        print(delta_table(deltas))
+        record["baseline"] = {
+            "path": os.path.basename(baseline_path),
+            "calibration_ops_per_sec":
+                baseline.get("calibration_ops_per_sec"),
+            "scenarios": baseline["scenarios"],
+            "speedup": {
+                d.name: {
+                    "raw_ratio": round(d.raw_ratio, 4),
+                    "normalized_ratio": (
+                        round(d.normalized_ratio, 4)
+                        if d.normalized_ratio is not None else None
+                    ),
+                }
+                for d in deltas
+            },
+        }
+
+    if args.out:
+        write_bench(record, args.out)
+        print(f"\nwrote {args.out}")
+
+    if args.check:
+        if baseline is None:
+            print("error: --check needs --baseline", file=sys.stderr)
+            return 2
+        failures = check_regressions(
+            deltas,
+            max_regression=args.max_regression,
+            normalized=not args.no_normalize,
+        )
+        if failures:
+            print("\nPERF REGRESSION:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"\nperf gate ok (tolerance {args.max_regression:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
