@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Catching a protocol violation live with the invariant monitors.
+
+Section 3.4's R2' exists because plain R2 lets a *moving* MH be served
+more than once per token traversal: finish your access, hop to the
+next MSS on the ring, and ask again before the token passes.  R2'
+closes the loophole with a per-MH access counter -- but the counter is
+self-reported, so a lying ("malicious") MH can still double-dip.
+
+This script runs that exact attack twice under the online monitors
+(``Simulation(monitors=True)``):
+
+1. an **honest** MH replays the move-and-ask-again dance and is
+   correctly deferred to the next traversal -- every monitor stays
+   green;
+2. a **malicious** MH reports an access count of 0 and gets served
+   twice at the same token_val -- the ring-fairness monitor flags the
+   violation *while the simulation runs*, with the timestamp, the MH,
+   and the traversal number attached.
+
+It closes with the health telemetry of the malicious run: the same
+gauge samples a dashboard would scrape, exported as JSONL and
+Prometheus text.
+
+Run:  python examples/monitoring_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CriticalResource,
+    HealthMonitor,
+    R2Mutex,
+    R2Variant,
+    Simulation,
+)
+
+
+def move_and_ask_again(malicious: bool):
+    """After its first access, mh-0 hops to the next ring MSS and
+    immediately requests again; a malicious mh-0 lies about its count."""
+    sim = Simulation(n_mss=3, n_mh=2, seed=3, placement="single_cell",
+                     monitors=True)
+    resource = CriticalResource(sim.scheduler)
+    mutex = R2Mutex(sim.network, resource, cs_duration=1.0,
+                    variant=R2Variant.COUNTER, scope="R2'",
+                    max_traversals=4)
+    if malicious:
+        mutex.malicious_mhs.add("mh-0")
+    state = {"moved": False}
+
+    def ask_again():
+        mutex.request("mh-0")
+
+    def on_done(mh_id):
+        if mh_id == "mh-0" and not state["moved"]:
+            state["moved"] = True
+            sim.mh(0).add_attach_listener(ask_again)
+            sim.mh(0).move_to("mss-1")
+
+    mutex.on_complete = on_done
+    mutex.request("mh-0")
+    mutex.request("mh-1")
+    mutex.start()
+    sim.drain()
+    sim.monitor_hub.finalize()
+    return sim, resource
+
+
+def tell(title: str, sim, resource) -> None:
+    print(f"--- {title} ---")
+    print(f"  accesses served: {resource.access_count}")
+    violations = sim.monitor_hub.violations
+    if not violations:
+        print("  monitors: all invariants held")
+    for violation in violations:
+        print(f"  CAUGHT {violation.monitor}: {violation.render()}")
+    print()
+
+
+def main() -> None:
+    sim, resource = move_and_ask_again(malicious=False)
+    tell("honest MH: deferred to the next traversal", sim, resource)
+    assert sim.monitor_hub.ok
+
+    sim, resource = move_and_ask_again(malicious=True)
+    tell("malicious MH: double-dips one traversal", sim, resource)
+    fairness = [v for v in sim.monitor_hub.violations
+                if v.invariant == "ring.fairness"]
+    assert fairness, "the fairness monitor missed the double service"
+    assert fairness[0].detail["mh"] == "mh-0"
+
+    print("--- health telemetry of the malicious run ---")
+    health = sim.monitor_hub.monitor(HealthMonitor)
+    for line in health.to_jsonl().splitlines():
+        print(f"  {line}")
+    print()
+    for line in health.to_prometheus().splitlines():
+        if not line.startswith("#"):
+            print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

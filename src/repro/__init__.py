@@ -31,6 +31,7 @@ Quickstart::
 from repro.errors import (
     ConfigurationError,
     FairnessViolation,
+    InvariantViolationError,
     MutualExclusionViolation,
     NotConnectedError,
     ProtocolError,
@@ -67,6 +68,16 @@ from repro.net import (
     ReliableTransport,
     UniformLatency,
 )
+from repro.monitor import (
+    HealthMonitor,
+    LivenessMonitor,
+    Monitor,
+    MonitorHub,
+    Violation,
+    default_monitors,
+    replay_events,
+    safety_monitors,
+)
 from repro.trace import TraceEvent, Tracer, to_chrome, to_jsonl, to_mermaid
 
 __version__ = "1.0.0"
@@ -83,8 +94,13 @@ __all__ = [
     "FairnessViolation",
     "FaultInjector",
     "FaultPlan",
+    "HealthMonitor",
     "HostState",
+    "InvariantViolationError",
     "LinkFault",
+    "LivenessMonitor",
+    "Monitor",
+    "MonitorHub",
     "MssCrash",
     "Partition",
     "L1Mutex",
@@ -97,6 +113,7 @@ __all__ = [
     "NetworkConfig",
     "NotConnectedError",
     "ProtocolError",
+    "Violation",
     "R1Mutex",
     "R2Mutex",
     "R2Variant",
@@ -104,6 +121,9 @@ __all__ = [
     "ReproError",
     "Simulation",
     "apply_fault_plan",
+    "default_monitors",
+    "replay_events",
+    "safety_monitors",
     "SimulationError",
     "TraceEvent",
     "Tracer",

@@ -167,6 +167,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the available scenarios and exit",
     )
 
+    monitor = sub.add_parser(
+        "monitor",
+        help="run scenarios under the invariant monitors and report "
+             "violations",
+    )
+    monitor.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="scenario to certify (default: all; see --list)",
+    )
+    monitor.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list the available scenarios and exit",
+    )
+    monitor.add_argument(
+        "--request-deadline", type=float, default=200.0,
+        help="liveness watchdog: max sim-time age of an unserved "
+             "request (default 200)",
+    )
+    monitor.add_argument(
+        "--token-deadline", type=float, default=120.0,
+        help="liveness watchdog: max sim-time without a token arrival "
+             "while requests pend (default 120)",
+    )
+    monitor.add_argument(
+        "--health-interval", type=float, default=25.0,
+        help="sim-time between health gauge samples (default 25)",
+    )
+    monitor.add_argument(
+        "--health-out", default=None, metavar="PATH",
+        help="write the health time-series as JSONL to PATH",
+    )
+    monitor.add_argument(
+        "--prom-out", default=None, metavar="PATH",
+        help="write the final health sample as Prometheus text to PATH",
+    )
+
     perf = sub.add_parser(
         "perf",
         help="measure events/sec on the curated perf scenarios",
@@ -596,6 +632,64 @@ def _run_trace(args, emit) -> int:
     return 0
 
 
+def _run_monitor(args, emit) -> int:
+    from repro.monitor import (
+        HealthMonitor,
+        LivenessMonitor,
+        default_monitors,
+        replay_events,
+    )
+    from repro.trace.scenarios import SCENARIOS, run_scenario
+
+    if args.list_scenarios:
+        for name, factory in SCENARIOS.items():
+            emit(f"{name:<22} {(factory.__doc__ or '').splitlines()[0]}")
+        return 0
+    names = [args.scenario] if args.scenario else list(SCENARIOS)
+    total_violations = 0
+    last_health = None
+    for name in names:
+        try:
+            run = run_scenario(name)
+        except KeyError as exc:
+            raise SystemExit(f"monitor: {exc.args[0]}") from exc
+        monitors = default_monitors(
+            request_deadline=args.request_deadline,
+            token_deadline=args.token_deadline,
+            health_interval=args.health_interval,
+        )
+        hub = replay_events(run.events, monitors,
+                            network=run.sim.network)
+        n = len(hub.violations)
+        total_violations += n
+        status = "ok" if n == 0 else f"{n} VIOLATION(S)"
+        emit(f"{name:<22} {len(run.events):>5} events  "
+             f"{len(hub.monitors)} monitors  {status}")
+        for violation in hub.violations:
+            emit(f"  {violation.monitor}: {violation.render()}")
+        for monitor in hub.monitors:
+            if isinstance(monitor, HealthMonitor):
+                last_health = monitor
+            if isinstance(monitor, LivenessMonitor):
+                age = monitor.oldest_pending_age(run.sim.now)
+                if age:
+                    emit(f"  oldest pending request: {age:g}")
+    if args.health_out is not None and last_health is not None:
+        with open(args.health_out, "w", encoding="utf-8") as fh:
+            fh.write(last_health.to_jsonl())
+        emit(f"wrote {len(last_health.samples)} health samples to "
+             f"{args.health_out}")
+    if args.prom_out is not None and last_health is not None:
+        with open(args.prom_out, "w", encoding="utf-8") as fh:
+            fh.write(last_health.to_prometheus())
+        emit(f"wrote Prometheus gauges to {args.prom_out}")
+    if total_violations == 0:
+        emit("all invariants held")
+        return 0
+    emit(f"{total_violations} invariant violation(s)")
+    return 1
+
+
 def _run_perf(args, emit) -> int:
     from repro.errors import ConfigurationError
     from repro.perf import SCENARIOS, run_scenario, scenario_names
@@ -633,6 +727,8 @@ def main(argv: Optional[List[str]] = None, emit=print) -> int:
         return _run_compare(args, emit)
     if args.command == "trace":
         return _run_trace(args, emit)
+    if args.command == "monitor":
+        return _run_monitor(args, emit)
     if args.command == "perf":
         return _run_perf(args, emit)
     raise SystemExit(f"unknown command {args.command!r}")

@@ -39,3 +39,7 @@ class FairnessViolation(SimulationError):
 
 class ProtocolError(SimulationError):
     """A protocol message arrived that the receiving state cannot accept."""
+
+
+class InvariantViolationError(SimulationError):
+    """An online invariant monitor observed at least one violation."""

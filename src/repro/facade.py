@@ -109,6 +109,7 @@ class Simulation:
         timeline: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         trace: bool = False,
+        monitors: Union[None, bool, str, Sequence] = None,
     ) -> None:
         if n_mss < 1:
             raise ConfigurationError("need at least one MSS")
@@ -142,7 +143,26 @@ class Simulation:
         )
         #: the installed tracer, or ``None`` when tracing is off.
         self.tracer = None
-        if trace:
+        #: the installed monitor hub, or ``None`` when monitoring is off.
+        self.monitor_hub = None
+        if monitors:
+            from repro.monitor import MonitorHub, default_monitors
+
+            if monitors is True or monitors == "default":
+                monitor_list = default_monitors()
+            else:
+                monitor_list = list(monitors)
+            # The hub *is* a tracer: with trace=True it records events
+            # like a plain Tracer would; with trace=False it dispatches
+            # to the monitors and drops each event, bounding memory.
+            self.monitor_hub = MonitorHub(
+                self.scheduler, monitor_list, record=trace
+            )
+            self.network.trace = self.monitor_hub
+            self.monitor_hub.bind(self.network)
+            if trace:
+                self.tracer = self.monitor_hub
+        elif trace:
             from repro.trace import Tracer
 
             self.tracer = Tracer(self.scheduler)
@@ -216,3 +236,30 @@ class Simulation:
     def cost(self, scope: Optional[str] = None) -> float:
         """Total recorded cost, priced with this simulation's model."""
         return self.metrics.cost(self.cost_model, scope)
+
+    # ------------------------------------------------------------------
+    # Monitoring
+    # ------------------------------------------------------------------
+
+    def monitor_report(self) -> str:
+        """Finalize the monitors and return their summary report."""
+        if self.monitor_hub is None:
+            return "invariant monitors: not installed"
+        self.monitor_hub.finalize()
+        return self.monitor_hub.report()
+
+    def assert_invariants(self) -> None:
+        """Finalize the monitors and raise if any invariant was violated.
+
+        No-op when the simulation was built without ``monitors=``.
+        """
+        if self.monitor_hub is None:
+            return
+        self.monitor_hub.finalize()
+        if not self.monitor_hub.ok:
+            from repro.errors import InvariantViolationError
+
+            raise InvariantViolationError(
+                "invariant violations observed:\n"
+                + self.monitor_hub.report()
+            )

@@ -1,0 +1,164 @@
+"""The monitor hub: fan-out from the trace stream to the monitors.
+
+:class:`MonitorHub` *is* a tracer — it subclasses
+:class:`~repro.trace.events.Tracer` and is installed as
+``network.trace``, so every instrumentation point that already feeds
+the trace layer feeds the monitors too, through the same
+``_trace_on``-style guard that makes the whole layer free when off.
+After recording each event it dispatches it to the monitors whose
+``interests`` match, via a per-event-type dispatch table built once at
+construction.
+
+Two recording modes:
+
+* ``record=True`` — behaves exactly like a :class:`Tracer` (the event
+  list grows; exporters and walkthroughs keep working) *and* monitors
+  run.  This is ``Simulation(trace=True, monitors=...)``.
+* ``record=False`` — events are dispatched to the monitors and then
+  dropped, so memory stays bounded on long runs.  This is
+  ``Simulation(trace=False, monitors=...)``.
+
+Offline replay: :func:`replay_events` drives the same monitors over a
+recorded event list (for example a canonical scenario's trace), which
+is how the ``repro monitor`` CLI certifies the walkthrough scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.monitor.base import Monitor, Violation
+from repro.trace.events import TraceEvent, Tracer
+
+__all__ = ["MonitorHub", "replay_events"]
+
+
+class MonitorHub(Tracer):
+    """A tracer that evaluates invariant monitors online.
+
+    Monitors are pure observers fed from :meth:`emit` (online) or
+    :meth:`dispatch` (offline replay).  The hub aggregates their
+    violations and exposes one ``finalize()``/``ok``/``report()``
+    surface for tests, the facade, and the CLI.
+    """
+
+    def __init__(
+        self,
+        scheduler,
+        monitors: Sequence[Monitor],
+        record: bool = True,
+    ) -> None:
+        super().__init__(scheduler)
+        self.record = record
+        self.monitors: List[Monitor] = list(monitors)
+        self.network = None
+        self._finalized = False
+        #: etype -> monitors with that explicit interest
+        self._by_etype: Dict[str, List[Monitor]] = {}
+        #: monitors subscribed to every event (interests is None)
+        self._wildcard: List[Monitor] = []
+        for monitor in self.monitors:
+            monitor.attach(self)
+            if monitor.interests is None:
+                self._wildcard.append(monitor)
+            else:
+                for etype in monitor.interests:
+                    self._by_etype.setdefault(etype, []).append(monitor)
+
+    # -- wiring -------------------------------------------------------
+    def bind(self, network) -> None:
+        """Give monitors ground-truth access to the live network."""
+        self.network = network
+        for monitor in self.monitors:
+            monitor.bind(network)
+
+    def monitor(self, cls) -> Optional[Monitor]:
+        """The first registered monitor of class ``cls``, if any."""
+        for monitor in self.monitors:
+            if isinstance(monitor, cls):
+                return monitor
+        return None
+
+    # -- online path --------------------------------------------------
+    def emit(self, etype: str, **kwargs: Any) -> int:
+        event_id = super().emit(etype, **kwargs)
+        events = self.events
+        event = events[-1]
+        if not self.record:
+            events.pop()
+        interested = self._by_etype.get(etype)
+        if interested:
+            for monitor in interested:
+                monitor.on_event(event)
+        for monitor in self._wildcard:
+            monitor.on_event(event)
+        return event_id
+
+    # -- offline path -------------------------------------------------
+    def dispatch(self, event: TraceEvent) -> None:
+        """Feed one (recorded) event to the interested monitors."""
+        interested = self._by_etype.get(event.etype)
+        if interested:
+            for monitor in interested:
+                monitor.on_event(event)
+        for monitor in self._wildcard:
+            monitor.on_event(event)
+
+    # -- reporting ----------------------------------------------------
+    def finalize(self, at: Optional[float] = None) -> None:
+        """Run every monitor's end-of-run checks (idempotent)."""
+        if self._finalized:
+            return
+        self._finalized = True
+        if at is None:
+            at = self.scheduler.now if self.scheduler is not None else 0.0
+        for monitor in self.monitors:
+            monitor.finalize(at)
+
+    @property
+    def violations(self) -> List[Violation]:
+        out: List[Violation] = []
+        for monitor in self.monitors:
+            out.extend(monitor.violations)
+        out.sort(key=lambda v: (v.time, v.monitor, v.invariant))
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return all(monitor.ok for monitor in self.monitors)
+
+    def report(self) -> str:
+        """A human-readable per-monitor summary."""
+        lines = ["invariant monitors"]
+        for monitor in self.monitors:
+            n = len(monitor.violations)
+            status = "ok" if n == 0 else f"{n} violation(s)"
+            lines.append(f"  {monitor.name:<20} {status}")
+            for violation in monitor.violations:
+                lines.append(f"    {violation.render()}")
+        return "\n".join(lines)
+
+
+def replay_events(
+    events: Iterable[TraceEvent],
+    monitors: Sequence[Monitor],
+    network=None,
+    finalize: bool = True,
+) -> MonitorHub:
+    """Run ``monitors`` over a recorded event stream.
+
+    Returns the hub (finalized at the last event's timestamp unless
+    ``finalize=False``).  Pass the live ``network`` when available so
+    ground-truth checks (location-view membership, per-MSS load) run;
+    without it those checks are skipped, never wrong.
+    """
+    hub = MonitorHub(None, monitors, record=False)
+    if network is not None:
+        hub.bind(network)
+    last_time = 0.0
+    for event in events:
+        hub.dispatch(event)
+        last_time = event.time
+    if finalize:
+        hub.finalize(at=last_time)
+    return hub

@@ -362,6 +362,7 @@ class R2Mutex:
                 "token.arrive",
                 scope=self.scope,
                 src=mss_id,
+                variant=self.variant.value,
                 token_val=token.token_val,
                 traversals=token.traversals,
                 epoch=token.epoch,

@@ -49,15 +49,19 @@ def _make_sim(n_mss: int, n_mh: int, seed: int, **kwargs) -> Simulation:
 
 
 def loaded_system(n_mss: int, n_mh: int, duration: float = 150.0,
-                  request_rate: float = 0.05, move_rate: float = 0.02) -> int:
+                  request_rate: float = 0.05, move_rate: float = 0.02,
+                  monitors=None) -> int:
     """The ``bench_scale.py`` workload: L2 mutex traffic plus mobility.
 
     This is the harness's headline scenario (at M=10, N=200): a system
     saturated with mutual-exclusion requests while every MH wanders,
     exercising the fixed-network send path, the wireless cell, the
-    scheduler, and the metrics counters together.
+    scheduler, and the metrics counters together.  With ``monitors``
+    set, the same workload runs under the online invariant monitors
+    (which must not change the event count -- only the wall time), so
+    the harness prices the monitoring overhead directly.
     """
-    sim = _make_sim(n_mss, n_mh, seed=3)
+    sim = _make_sim(n_mss, n_mh, seed=3, monitors=monitors)
     resource = CriticalResource(sim.scheduler)
     mutex = L2Mutex(sim.network, resource, cs_duration=0.3)
     workload = MutexWorkload(sim.network, mutex, sim.mh_ids,
@@ -70,6 +74,7 @@ def loaded_system(n_mss: int, n_mh: int, duration: float = 150.0,
     mobility.stop()
     sim.drain()
     resource.assert_no_overlap()
+    sim.assert_invariants()
     return sim.scheduler.events_processed
 
 
@@ -211,6 +216,14 @@ _register(Scenario(
     run=lambda: loaded_system(6, 40, 2000.0),
     smoke=True,
     tags=("mutex", "mobility", "smoke"),
+))
+_register(Scenario(
+    name="smoke_monitors",
+    description="the smoke_scale workload under the full default "
+                "invariant-monitor set (prices monitoring overhead)",
+    run=lambda: loaded_system(6, 40, 2000.0, monitors=True),
+    smoke=True,
+    tags=("mutex", "mobility", "monitor", "smoke"),
 ))
 _register(Scenario(
     name="smoke_search",

@@ -30,8 +30,9 @@ def run_example(name: str) -> str:
 
 
 def test_all_examples_discovered():
-    assert len(EXAMPLES) >= 7
+    assert len(EXAMPLES) >= 9
     assert "quickstart.py" in EXAMPLES
+    assert "monitoring_demo.py" in EXAMPLES
 
 
 @pytest.mark.parametrize("name", EXAMPLES)
@@ -58,3 +59,11 @@ def test_newsfeed_is_exactly_once():
     output = run_example("field_team_newsfeed.py")
     assert "exactly-once in order: True" in output
     assert "False" not in output
+
+
+def test_monitoring_demo_catches_the_fairness_violation_live():
+    output = run_example("monitoring_demo.py")
+    assert "all invariants held" in output
+    assert "CAUGHT ring-fairness" in output
+    assert "ring.fairness" in output
+    assert "repro_invariant_violations 1" in output

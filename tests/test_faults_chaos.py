@@ -20,10 +20,12 @@ from repro import (
     CriticalResource,
     FaultPlan,
     LinkFault,
+    LivenessMonitor,
     MssCrash,
     R2Mutex,
     R2Variant,
     Simulation,
+    safety_monitors,
 )
 from repro.metrics.render import fault_summary
 
@@ -32,9 +34,25 @@ CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "7"))
 ALL_VARIANTS = [R2Variant.PLAIN, R2Variant.COUNTER, R2Variant.TOKEN_LIST]
 
 
+def chaos_monitors():
+    """The full safety set plus a liveness watchdog whose deadlines are
+    sized for any CI sweep seed (losses can honestly delay service for
+    hundreds of sim-time units; only a wedged run should trip it)."""
+    return safety_monitors() + [
+        LivenessMonitor(request_deadline=1000.0, token_deadline=1000.0)
+    ]
+
+
 def run_chaos(variant, plan, seed=CHAOS_SEED, n_mss=4, n_mh=8):
-    """One R2 run with staggered single requests from every MH."""
-    sim = Simulation(n_mss=n_mss, n_mh=n_mh, seed=seed, fault_plan=plan)
+    """One R2 run with staggered single requests from every MH.
+
+    Every chaos run executes under the online invariant monitors: the
+    whole point of the fault matrix is that loss, duplication and
+    crashes never buy a safety violation, so each run must end with
+    ``assert_invariants`` holding.
+    """
+    sim = Simulation(n_mss=n_mss, n_mh=n_mh, seed=seed, fault_plan=plan,
+                     monitors=chaos_monitors())
     resource = CriticalResource(sim.scheduler)
     mutex = R2Mutex(
         sim.network,
@@ -47,6 +65,7 @@ def run_chaos(variant, plan, seed=CHAOS_SEED, n_mss=4, n_mh=8):
         sim.scheduler.schedule(1.0 + 2.0 * i, mutex.request, f"mh-{i}")
     mutex.start()
     sim.drain()
+    sim.assert_invariants()
     return sim, resource, mutex
 
 
@@ -106,6 +125,16 @@ def test_report_includes_faults_and_recovery():
     assert report["faults"]["mss.crash"] == 1
     assert report["recovery"]["count"] == 1
     assert report["recovery"]["mean"] > 0
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS, ids=lambda v: v.value)
+def test_chaos_runs_hold_every_safety_invariant(variant):
+    """The monitors really watched: violations are zero, not unchecked."""
+    sim, _, _ = run_chaos(variant, crash_plan())
+    hub = sim.monitor_hub
+    assert hub is not None
+    assert hub.ok, hub.report()
+    assert hub.violations == []
 
 
 def test_fault_free_runs_are_untouched_by_the_subsystem():

@@ -1,0 +1,231 @@
+"""Monitor hub mechanics, facade wiring, health telemetry and the
+``repro monitor`` CLI.
+
+The mutation suite (``test_monitor_mutations.py``) proves each monitor
+catches its bug; this file proves the plumbing around them: interest
+dispatch, the record/drop modes, online-vs-replay equivalence, the
+``Simulation(monitors=...)`` surface, the health exports, and the CLI
+watchdog over the canonical walkthrough scenarios.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import (
+    HealthMonitor,
+    InvariantViolationError,
+    LivenessMonitor,
+    Monitor,
+    MonitorHub,
+    Simulation,
+    default_monitors,
+    replay_events,
+    safety_monitors,
+)
+from repro.cli import main
+from repro.mutex import CriticalResource, L2Mutex
+from repro.trace.scenarios import SCENARIOS, run_scenario
+
+
+class Recorder(Monitor):
+    name = "recorder"
+    interests = ("cs.enter",)
+
+    def __init__(self):
+        super().__init__()
+        self.seen = []
+
+    def on_event(self, event):
+        self.seen.append(event.etype)
+
+
+class Wildcard(Recorder):
+    name = "wildcard"
+    interests = None
+
+
+def l2_run(**sim_kwargs):
+    sim = Simulation(n_mss=3, n_mh=3, seed=7, **sim_kwargs)
+    resource = CriticalResource(sim.scheduler)
+    mutex = L2Mutex(sim.network, resource, cs_duration=1.0, scope="L2")
+    for mh_id in sim.mh_ids:
+        mutex.request(mh_id)
+    sim.drain()
+    return sim
+
+
+# ---------------------------------------------------------------------
+# dispatch mechanics
+# ---------------------------------------------------------------------
+
+def test_interest_dispatch_routes_only_matching_events():
+    narrow, wide = Recorder(), Wildcard()
+    sim = l2_run(monitors=[narrow, wide])
+    assert narrow.seen == ["cs.enter"] * 3
+    assert set(narrow.seen) < set(wide.seen)
+    assert wide.seen.count("cs.enter") == 3
+
+
+def test_record_false_drops_events_record_true_keeps_them():
+    dropped = l2_run(monitors=[Recorder()])
+    kept = l2_run(trace=True, monitors=[Recorder()])
+    assert dropped.monitor_hub.events == []
+    assert dropped.monitor_hub.record is False
+    assert kept.monitor_hub.record is True
+    assert len(kept.monitor_hub.events) > 0
+    assert kept.tracer is kept.monitor_hub
+
+
+def test_replay_sees_exactly_what_online_saw():
+    online = Wildcard()
+    sim = l2_run(trace=True, monitors=[online])
+    offline = Wildcard()
+    replay_events(sim.tracer.events, [offline])
+    assert offline.seen == online.seen
+
+
+def test_hub_finalize_is_idempotent():
+    liveness = LivenessMonitor()
+    hub = MonitorHub(None, [liveness], record=False)
+    hub.dispatch_count = 0
+    liveness.pending[("L2", "mh-0")] = 1.0
+    hub.finalize(at=500.0)
+    hub.finalize(at=900.0)
+    assert len(liveness.violations) == 1
+
+
+def test_monitor_lookup_by_class():
+    monitors = default_monitors()
+    hub = MonitorHub(None, monitors, record=False)
+    assert isinstance(hub.monitor(HealthMonitor), HealthMonitor)
+    assert hub.monitor(Recorder) is None
+
+
+def test_default_monitors_bundle_safety_liveness_and_health():
+    monitors = default_monitors(request_deadline=9.0, token_deadline=4.0,
+                                health_interval=2.0)
+    names = [type(m).__name__ for m in monitors]
+    assert len(monitors) == len(safety_monitors()) + 2
+    assert "LivenessMonitor" in names and "HealthMonitor" in names
+    liveness = next(m for m in monitors if isinstance(m, LivenessMonitor))
+    assert liveness.request_deadline == 9.0
+    assert liveness.token_deadline == 4.0
+
+
+# ---------------------------------------------------------------------
+# facade surface
+# ---------------------------------------------------------------------
+
+def test_facade_without_monitors_installs_no_hub():
+    sim = l2_run()
+    assert sim.monitor_hub is None
+    assert "not installed" in sim.monitor_report()
+    sim.assert_invariants()  # no-op, must not raise
+
+
+def test_facade_monitors_true_installs_the_default_set():
+    sim = l2_run(monitors=True)
+    assert sim.monitor_hub is not None
+    assert len(sim.monitor_hub.monitors) == len(default_monitors())
+    assert sim.monitor_hub.network is sim.network
+    sim.assert_invariants()
+    assert "invariant monitors" in sim.monitor_report()
+    assert "ok" in sim.monitor_report()
+
+
+def test_assert_invariants_raises_on_violation():
+    monitor = LivenessMonitor(request_deadline=1e9)
+    sim = l2_run(monitors=[monitor])
+    monitor.pending[("L2", "mh-9")] = 0.0  # synthetic unserved request
+    with pytest.raises(InvariantViolationError) as excinfo:
+        sim.assert_invariants()
+    assert "liveness.request_unserved" in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------
+# health telemetry
+# ---------------------------------------------------------------------
+
+def test_health_samples_and_exports():
+    sim = l2_run(monitors=True)
+    sim.monitor_hub.finalize()
+    health = sim.monitor_hub.monitor(HealthMonitor)
+    assert health.samples, "no gauge samples were taken"
+    last = health.samples[-1]
+    assert last["sends"] > 0 and last["recvs"] > 0
+    assert last["cs_entries"] == 3
+    assert last["violations"] == 0
+    assert sum(last["mss_load"].values()) == 3
+    lines = health.to_jsonl().strip().splitlines()
+    assert len(lines) == len(health.samples)
+    parsed = [json.loads(line) for line in lines]
+    assert [p["t"] for p in parsed] == sorted(p["t"] for p in parsed)
+    prom = health.to_prometheus()
+    assert "# TYPE repro_sends_total gauge" in prom
+    assert "repro_cs_entries_total 3" in prom
+    assert 'repro_mss_load{mss="mss-0"}' in prom
+    assert "repro_invariant_violations 0" in prom
+
+
+def test_health_sampling_interval_is_edge_triggered():
+    health = HealthMonitor(interval=100.0)
+    sim = l2_run(monitors=[health])
+    # a short run crosses the t=0 boundary once and never reaches 100
+    assert len(health.samples) == 1
+    sim.monitor_hub.finalize()
+    assert len(health.samples) == 2  # finalize appends the closing one
+
+
+# ---------------------------------------------------------------------
+# canonical scenarios and the CLI watchdog
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_canonical_scenarios_hold_every_invariant(name):
+    run = run_scenario(name)
+    hub = replay_events(run.events, default_monitors(),
+                        network=run.sim.network)
+    assert hub.ok, hub.report()
+
+
+def test_cli_monitor_lists_scenarios():
+    lines = []
+    assert main(["monitor", "--list"], emit=lines.append) == 0
+    out = "\n".join(lines)
+    for name in SCENARIOS:
+        assert name in out
+
+
+def test_cli_monitor_certifies_one_scenario(tmp_path):
+    health = tmp_path / "health.jsonl"
+    prom = tmp_path / "health.prom"
+    lines = []
+    code = main(
+        ["monitor", "--scenario", "l2",
+         "--health-out", str(health), "--prom-out", str(prom)],
+        emit=lines.append,
+    )
+    out = "\n".join(lines)
+    assert code == 0
+    assert "all invariants held" in out
+    samples = [json.loads(line) for line in
+               health.read_text().strip().splitlines()]
+    assert samples and samples[-1]["cs_entries"] > 0
+    assert "repro_sim_time" in prom.read_text()
+
+
+def test_cli_monitor_runs_all_scenarios():
+    lines = []
+    assert main(["monitor"], emit=lines.append) == 0
+    out = "\n".join(lines)
+    assert "all invariants held" in out
+    for name in SCENARIOS:
+        assert name in out
+
+
+def test_cli_monitor_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["monitor", "--scenario", "nope"], emit=lambda _line: None)
