@@ -44,6 +44,7 @@ from repro.faults import (
     FaultInjector,
     FaultPlan,
     LinkFault,
+    MhCrash,
     MssCrash,
     Partition,
     apply_fault_plan,
@@ -78,6 +79,17 @@ from repro.monitor import (
     replay_events,
     safety_monitors,
 )
+from repro.recovery import (
+    CheckpointPolicy,
+    CounterClient,
+    DistancePolicy,
+    MutexCheckpointClient,
+    NoCheckpointPolicy,
+    PerMessagePolicy,
+    PeriodicPolicy,
+    RecoveryClient,
+    RecoveryManager,
+)
 from repro.trace import TraceEvent, Tracer, to_chrome, to_jsonl, to_mermaid
 
 __version__ = "1.0.0"
@@ -86,10 +98,13 @@ __all__ = [
     "AbstractSearch",
     "BroadcastSearch",
     "Category",
+    "CheckpointPolicy",
     "ConfigurationError",
     "ConstantLatency",
     "CostModel",
+    "CounterClient",
     "CriticalResource",
+    "DistancePolicy",
     "ExactlyOnceMulticast",
     "FairnessViolation",
     "FaultInjector",
@@ -99,10 +114,15 @@ __all__ = [
     "InvariantViolationError",
     "LinkFault",
     "LivenessMonitor",
+    "MhCrash",
     "Monitor",
     "MonitorHub",
     "MssCrash",
+    "MutexCheckpointClient",
+    "NoCheckpointPolicy",
     "Partition",
+    "PerMessagePolicy",
+    "PeriodicPolicy",
     "L1Mutex",
     "L2Mutex",
     "MetricsCollector",
@@ -117,6 +137,8 @@ __all__ = [
     "R1Mutex",
     "R2Mutex",
     "R2Variant",
+    "RecoveryClient",
+    "RecoveryManager",
     "ReliableTransport",
     "ReproError",
     "Simulation",

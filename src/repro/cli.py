@@ -92,6 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="fault plan to run under: path to a JSON file, or an "
                  "inline JSON object (starts with '{')",
         )
+        p.add_argument(
+            "--recovery", default=None, metavar="POLICY",
+            help="checkpointing policy for crash recovery: 'none', "
+                 "'per-message', 'periodic:<interval>', or "
+                 "'distance:<cells>' (Khatri-style; see "
+                 "docs/system-model.md)",
+        )
 
     mutex = sub.add_parser(
         "mutex", help="distributed mutual exclusion (Section 3)"
@@ -140,7 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(compare)
     compare.add_argument(
         "--experiment", default="all",
-        choices=["all", "lamport", "ring", "groups"],
+        choices=["all", "lamport", "ring", "groups", "recovery"],
         help="which comparison to run (default: all)",
     )
 
@@ -237,6 +244,18 @@ def _parse_fault_plan(spec: Optional[str]):
         raise SystemExit(f"--fault-plan: {exc}") from exc
 
 
+def _parse_recovery(spec: Optional[str]):
+    if spec is None:
+        return None
+    from repro.errors import ConfigurationError
+    from repro.recovery import policy_from_spec
+
+    try:
+        return policy_from_spec(spec)
+    except ConfigurationError as exc:
+        raise SystemExit(f"--recovery: {exc}") from exc
+
+
 def _build_sim(args) -> Simulation:
     return Simulation(
         n_mss=args.n_mss,
@@ -249,6 +268,7 @@ def _build_sim(args) -> Simulation:
         ),
         search=args.search,
         fault_plan=_parse_fault_plan(getattr(args, "fault_plan", None)),
+        recovery=_parse_recovery(getattr(args, "recovery", None)),
     )
 
 
@@ -270,6 +290,12 @@ def _print_report(sim: Simulation, emit) -> None:
     for scope in sorted(report["cost_by_scope"]):
         emit(f"  {scope:<16}: {report['cost_by_scope'][scope]:.1f}")
     emit(f"MH energy      : {report['energy_total']} wireless ops")
+    if sim.recovery is not None:
+        restored = [seq for (_, _, seq) in sim.recovery.restored]
+        emit(f"checkpointing  : policy={sim.recovery.policy.name} "
+             f"taken={sim.recovery.checkpoints_taken} "
+             f"restored={len([s for s in restored if s >= 0])} "
+             f"restarted={len([s for s in restored if s < 0])}")
     snap = sim.metrics.snapshot()
     if snap.faults or snap.recovery_times:
         from repro.metrics.render import fault_summary
@@ -283,16 +309,28 @@ def _print_report(sim: Simulation, emit) -> None:
 def _run_mutex(args, emit) -> int:
     sim = _build_sim(args)
     resource = CriticalResource(sim.scheduler)
+    note_access = None
+    if sim.recovery is not None:
+        # Each completed access is one unit of recoverable work: the
+        # policy decides when to checkpoint the counter, and a crash /
+        # restore cycle shows up in the checkpointing report below.
+        from repro.recovery import CounterClient
+
+        access_counter = CounterClient(sim.recovery)
+        note_access = access_counter.note_work
     name = args.algorithm
     if name == "L1":
         mutex = L1Mutex(sim.network, sim.mh_ids, resource,
-                        cs_duration=args.cs_duration)
+                        cs_duration=args.cs_duration,
+                        on_complete=note_access)
     elif name == "L2":
         mutex = L2Mutex(sim.network, resource,
-                        cs_duration=args.cs_duration)
+                        cs_duration=args.cs_duration,
+                        on_complete=note_access)
     elif name == "R1":
         mutex = R1Mutex(sim.network, sim.mh_ids, resource,
-                        cs_duration=args.cs_duration)
+                        cs_duration=args.cs_duration,
+                        on_complete=note_access)
     else:
         variant = {
             "R2": R2Variant.PLAIN,
@@ -300,7 +338,8 @@ def _run_mutex(args, emit) -> int:
             "R2''": R2Variant.TOKEN_LIST,
         }[name]
         mutex = R2Mutex(sim.network, resource, variant=variant,
-                        cs_duration=args.cs_duration)
+                        cs_duration=args.cs_duration,
+                        on_complete=note_access)
         mutex.start()
 
     if name in ("L1", "R1"):
@@ -577,6 +616,36 @@ def _run_compare(args, emit) -> int:
         ratio = comparisons.always_inform_vs_pure_search_ratio(model)
         emit(f"  always-inform beats pure search while "
              f"MOB/MSG < {ratio:.2f}")
+        emit("")
+
+    if args.experiment in ("all", "recovery"):
+        from repro.recovery.bench import (
+            DEFAULT_RUN_LENGTHS, run_length_table,
+        )
+        short_n, long_n = DEFAULT_RUN_LENGTHS
+        emit(f"== Checkpoint policies: overhead vs recovery cost "
+             f"({short_n}- vs {long_n}-move runs) ==")
+        emit(f"  {'policy':<16}{'moves':>6}{'ckpts':>7}"
+             f"{'ckpt cost':>11}{'restore cost':>14}{'work lost':>11}")
+        rows = run_length_table(seed=args.seed, cost_model=model)
+        for r in rows:
+            emit(f"  {r.policy:<16}{r.n_moves:>6}{r.checkpoints:>7}"
+                 f"{r.ckpt_cost:>11.1f}{r.restore_cost:>14.1f}"
+                 f"{r.work_lost:>11}")
+        by_policy = {}
+        for r in rows:
+            by_policy.setdefault(r.policy, {})[r.n_moves] = r
+        dist = by_policy["distance:2"]
+        independent = (
+            dist[short_n].restore_cost == dist[long_n].restore_cost
+        )
+        if not independent:
+            failures += 1
+        emit(f"  distance-bounded restore cost independent of run "
+             f"length: {dist[short_n].restore_cost:.1f} "
+             f"{'==' if independent else '!='} "
+             f"{dist[long_n].restore_cost:.1f}"
+             f"   {'OK' if independent else 'MISMATCH'}")
         emit("")
 
     emit("all comparisons matched the paper's formulas"

@@ -89,6 +89,13 @@ class Simulation:
             given, the fault injector (and, per the plan, the reliable
             delivery layer) is installed before any algorithm attaches,
             so protocols built on this simulation auto-detect it.
+        recovery: optional checkpointing policy for the
+            :mod:`repro.recovery` subsystem -- a
+            :class:`~repro.recovery.CheckpointPolicy` instance or a
+            string spec (``"per-message"``, ``"periodic:10"``,
+            ``"distance:2"``, ``"none"``).  Builds a
+            :class:`~repro.recovery.RecoveryManager` over every MH,
+            exposed as :attr:`recovery`.
         trace: when ``True``, install a :class:`~repro.trace.Tracer` as
             :attr:`tracer` (and on ``network.trace``) so every send,
             receive and protocol step is recorded as a
@@ -110,6 +117,7 @@ class Simulation:
         fault_plan: Optional[FaultPlan] = None,
         trace: bool = False,
         monitors: Union[None, bool, str, Sequence] = None,
+        recovery: Union[None, str, object] = None,
     ) -> None:
         if n_mss < 1:
             raise ConfigurationError("need at least one MSS")
@@ -184,6 +192,14 @@ class Simulation:
             if fault_plan is not None
             else None
         )
+        #: the recovery manager, or ``None`` when ``recovery=`` is off.
+        self.recovery = None
+        if recovery is not None:
+            from repro.recovery import RecoveryManager, policy_from_spec
+
+            self.recovery = RecoveryManager(
+                self.network, policy=policy_from_spec(recovery)
+            )
 
     # ------------------------------------------------------------------
     # Accessors

@@ -19,13 +19,20 @@ the hooks live inside the network, below the protocol API.
 """
 
 from repro.faults.injector import FaultDecision, FaultInjector
-from repro.faults.plan import FaultPlan, LinkFault, MssCrash, Partition
+from repro.faults.plan import (
+    FaultPlan,
+    LinkFault,
+    MhCrash,
+    MssCrash,
+    Partition,
+)
 
 __all__ = [
     "FaultDecision",
     "FaultInjector",
     "FaultPlan",
     "LinkFault",
+    "MhCrash",
     "MssCrash",
     "Partition",
     "apply_fault_plan",

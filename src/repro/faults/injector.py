@@ -19,7 +19,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.faults.plan import FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -59,6 +59,12 @@ class FaultInjector:
         self._recovery_listeners: List[CrashListener] = []
         self._crash_times: Dict[str, float] = {}
         self._pending_orphans: Dict[str, Set[str]] = {}
+        self._mh_crashed: Set[str] = set()
+        self._mh_crash_listeners: List[CrashListener] = []
+        self._mh_recovery_listeners: List[CrashListener] = []
+        #: cell each crashed MH was (last) served by -- where it
+        #: physically still sits, and so where it wakes up.
+        self._mh_crash_cells: Dict[str, Optional[str]] = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -71,6 +77,18 @@ class FaultInjector:
         """
         if self.network is not None:
             raise SimulationError("fault injector already bound")
+        known_mss = set(network.mss_ids())
+        for crash in self.plan.crashes:
+            if crash.mss_id not in known_mss:
+                raise ConfigurationError(
+                    f"fault plan crashes unknown MSS {crash.mss_id!r}"
+                )
+        known_mh = set(network.mh_ids())
+        for mh_crash in self.plan.mh_crashes:
+            if mh_crash.mh_id not in known_mh:
+                raise ConfigurationError(
+                    f"fault plan crashes unknown MH {mh_crash.mh_id!r}"
+                )
         self.network = network
         for crash in self.plan.crashes:
             network.scheduler.schedule_at(
@@ -79,6 +97,15 @@ class FaultInjector:
             if crash.recover_at is not None:
                 network.scheduler.schedule_at(
                     crash.recover_at, self._recover, crash.mss_id
+                )
+        for mh_crash in self.plan.mh_crashes:
+            network.scheduler.schedule_at(
+                mh_crash.at, self._crash_mh, mh_crash.mh_id,
+                mh_crash.amnesia,
+            )
+            if mh_crash.recover_at is not None:
+                network.scheduler.schedule_at(
+                    mh_crash.recover_at, self._recover_mh, mh_crash.mh_id
                 )
 
     def add_crash_listener(self, listener: CrashListener) -> None:
@@ -89,6 +116,40 @@ class FaultInjector:
         """Invoke ``listener(mss_id)`` right after each MSS recovery."""
         self._recovery_listeners.append(listener)
 
+    def add_mh_crash_listener(self, listener: CrashListener) -> None:
+        """Invoke ``listener(mh_id)`` right after each MH crash."""
+        self._mh_crash_listeners.append(listener)
+
+    def add_mh_recovery_listener(self, listener: CrashListener) -> None:
+        """Invoke ``listener(mh_id)`` right after each MH recovery
+        (the host has already reattached when listeners run)."""
+        self._mh_recovery_listeners.append(listener)
+
+    def _dispatch(self, listeners: List[CrashListener],
+                  host_id: str, event: str) -> None:
+        """Run every listener; one raising must not silence the rest.
+
+        A listener failure is a bug in a protocol's fault handling, not
+        in the fault plan -- so it is surfaced as a structured fault
+        event (and counted) rather than allowed to tear down the run or,
+        worse, to skip the listeners registered after it.
+        """
+        for listener in listeners:
+            try:
+                listener(host_id)
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                self.stats["injector.listener_error"] += 1
+                self.network.metrics.record_fault("injector.listener_error")
+                if self.network._trace_on:
+                    self.network._trace.emit(
+                        "fault.listener_error",
+                        src=host_id,
+                        event=event,
+                        listener=getattr(listener, "__qualname__",
+                                         repr(listener)),
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+
     # ------------------------------------------------------------------
     # Queries from the network
     # ------------------------------------------------------------------
@@ -96,6 +157,10 @@ class FaultInjector:
     def is_crashed(self, mss_id: str) -> bool:
         """Whether ``mss_id`` is currently down."""
         return mss_id in self._crashed
+
+    def is_mh_crashed(self, mh_id: str) -> bool:
+        """Whether mobile host ``mh_id`` is currently down."""
+        return mh_id in self._mh_crashed
 
     def decide_fixed(self, message: "Message") -> FaultDecision:
         """Fault outcome for one fixed-network transmission."""
@@ -159,13 +224,12 @@ class FaultInjector:
                 mss_id,
                 mh_id,
             )
-        for listener in self._crash_listeners:
-            listener(mss_id)
+        self._dispatch(self._crash_listeners, mss_id, "mss.crash")
 
     def _rejoin(self, crashed_mss_id: str, mh_id: str) -> None:
         network = self.network
         mh = network.mobile_host(mh_id)
-        if mh.is_disconnected and mh.orphaned:
+        if mh.is_disconnected and mh.orphaned and not mh.crashed:
             alive = [
                 m for m in network.mss_ids() if m not in self._crashed
             ]
@@ -211,5 +275,69 @@ class FaultInjector:
         self.network.metrics.record_fault("mss.recover")
         if self.network._trace_on:
             self.network._trace.emit("fault.mss_recover", src=mss_id)
-        for listener in self._recovery_listeners:
-            listener(mss_id)
+        self._dispatch(self._recovery_listeners, mss_id, "mss.recover")
+
+    # ------------------------------------------------------------------
+    # MH crash / recovery execution
+    # ------------------------------------------------------------------
+
+    def _crash_mh(self, mh_id: str, amnesia: bool) -> None:
+        if mh_id in self._mh_crashed:
+            return
+        network = self.network
+        mh = network.mobile_host(mh_id)
+        self._mh_crashed.add(mh_id)
+        self.stats["mh.crash"] += 1
+        network.metrics.record_fault("mh.crash")
+        # Remember the cell the host physically sits in: amnesia wipes
+        # the *host's* memory of it, not the geography.
+        self._mh_crash_cells[mh_id] = (
+            mh.current_mss_id if mh.is_connected
+            else mh._transit_prev_mss_id if mh.in_transit
+            else mh.disconnect_mss_id
+        )
+        self._crash_times[mh_id] = network.scheduler.now
+        if network._trace_on:
+            network._trace.emit(
+                "fault.mh_crash",
+                src=mh_id,
+                mss=self._mh_crash_cells[mh_id],
+                amnesia=amnesia,
+            )
+        mh.crash(amnesia=amnesia)
+        network.notify_mh_crashed(mh_id)
+        self._dispatch(self._mh_crash_listeners, mh_id, "mh.crash")
+
+    def _recover_mh(self, mh_id: str) -> None:
+        if mh_id not in self._mh_crashed:
+            return
+        network = self.network
+        mh = network.mobile_host(mh_id)
+        # Wake up in the cell where the host died; if that station is
+        # (still) down, reconnect() reroutes to the nearest live one,
+        # and only a host with no cell at all picks a random survivor.
+        target = self._mh_crash_cells.pop(mh_id, None)
+        if target is None or (target in self._crashed
+                              and network.next_alive_mss(target) is None):
+            alive = [
+                m for m in network.mss_ids() if m not in self._crashed
+            ]
+            if not alive:
+                self._mh_crash_cells[mh_id] = target
+                network.scheduler.schedule(
+                    self.plan.rejoin_delay, self._recover_mh, mh_id
+                )
+                return
+            target = self._rng.choice(alive)
+        self._mh_crashed.discard(mh_id)
+        self.stats["mh.recover"] += 1
+        network.metrics.record_fault("mh.recover")
+        if network._trace_on:
+            recover_id = network._trace.emit(
+                "fault.mh_recover", src=mh_id, dst=target
+            )
+            with network._trace.context(recover_id):
+                mh.recover(target)
+        else:
+            mh.recover(target)
+        self._dispatch(self._mh_recovery_listeners, mh_id, "mh.recover")

@@ -128,6 +128,48 @@ class MssCrash:
 
 
 @dataclass(frozen=True)
+class MhCrash:
+    """One mobile-host crash (and optional recovery) event.
+
+    A crashed MH loses all volatile protocol state, is silently detached
+    from its cell (the cell marks it disconnected when the radio goes
+    quiet), and neither sends nor receives until it recovers.  Recovery
+    replays the Section 2 rejoin path: a non-amnesiac MH reconnects
+    naming its old MSS (ordinary handoff pull); with ``amnesia=True``
+    the MH forgets even *where* it was attached and rejoins with the
+    broadcast ``find_disconnect`` query.  ``recover_at=None`` means the
+    host never comes back.
+    """
+
+    mh_id: str
+    at: float
+    recover_at: Optional[float] = None
+    amnesia: bool = False
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError("crash time must be nonnegative")
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise ConfigurationError("recover_at must be after the crash")
+
+
+def _check_no_overlap(events: Iterable, label: str, key: str) -> None:
+    """Reject two crash windows for the same host that overlap in time."""
+    windows: Dict[str, list] = {}
+    for event in events:
+        windows.setdefault(getattr(event, key), []).append(
+            (event.at, event.recover_at)
+        )
+    for host_id, spans in windows.items():
+        spans.sort(key=lambda span: span[0])
+        for (_, prev_end), (start, _) in zip(spans, spans[1:]):
+            if prev_end is None or start < prev_end:
+                raise ConfigurationError(
+                    f"overlapping {label} crash windows for {host_id}"
+                )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything that goes wrong in one run, and the recovery knobs.
 
@@ -135,6 +177,7 @@ class FaultPlan:
         link_faults: probabilistic drop/duplicate/delay rules.
         partitions: scheduled wired-network partitions.
         crashes: MSS crash/recovery events.
+        mh_crashes: mobile-host crash/recovery events.
         seed: seed of the injector's private RNG (fault decisions are
             reproducible independently of the simulation's own RNG use).
         reliable: install the reliable-delivery layer
@@ -152,6 +195,7 @@ class FaultPlan:
     link_faults: Tuple[LinkFault, ...] = ()
     partitions: Tuple[Partition, ...] = ()
     crashes: Tuple[MssCrash, ...] = ()
+    mh_crashes: Tuple[MhCrash, ...] = ()
     seed: int = 0
     reliable: bool = True
     rejoin_delay: float = 5.0
@@ -160,6 +204,8 @@ class FaultPlan:
     max_retransmits: int = 10
 
     def __post_init__(self) -> None:
+        _check_no_overlap(self.crashes, "MSS", "mss_id")
+        _check_no_overlap(self.mh_crashes, "MH", "mh_id")
         if self.rejoin_delay <= 0:
             raise ConfigurationError("rejoin_delay must be positive")
         if self.retransmit_timeout <= 0:
@@ -181,9 +227,9 @@ class FaultPlan:
     def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
         """Build a plan from a plain dict (parsed JSON)."""
         known = {
-            "link_faults", "partitions", "crashes", "seed", "reliable",
-            "rejoin_delay", "retransmit_timeout", "retransmit_backoff",
-            "max_retransmits",
+            "link_faults", "partitions", "crashes", "mh_crashes", "seed",
+            "reliable", "rejoin_delay", "retransmit_timeout",
+            "retransmit_backoff", "max_retransmits",
         }
         unknown = set(data) - known
         if unknown:
@@ -206,15 +252,20 @@ class FaultPlan:
         crashes = tuple(
             MssCrash(**crash) for crash in data.get("crashes", ())
         )
+        mh_crashes = tuple(
+            MhCrash(**crash) for crash in data.get("mh_crashes", ())
+        )
         scalars = {
             key: data[key]
-            for key in known - {"link_faults", "partitions", "crashes"}
+            for key in known - {"link_faults", "partitions", "crashes",
+                                "mh_crashes"}
             if key in data
         }
         return cls(
             link_faults=link_faults,
             partitions=partitions,
             crashes=crashes,
+            mh_crashes=mh_crashes,
             **scalars,
         )
 

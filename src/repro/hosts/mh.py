@@ -66,6 +66,12 @@ class MobileHost(Host):
         #: ``True`` while detached because the serving MSS crashed (set
         #: by :meth:`orphan`, cleared on reconnect).
         self.orphaned = False
+        #: ``True`` while this host itself is down (set by :meth:`crash`,
+        #: cleared by :meth:`recover`).
+        self.crashed = False
+        #: MSS of the cell most recently left, valid while IN_TRANSIT --
+        #: the only station that can vouch for a host that dies mid-move.
+        self._transit_prev_mss_id: Optional[str] = None
         self._attach_listeners: list = []
 
     # ------------------------------------------------------------------
@@ -152,6 +158,7 @@ class MobileHost(Host):
         prev_mss_id = self.current_mss_id
         self.state = HostState.IN_TRANSIT
         self.current_mss_id = None
+        self._transit_prev_mss_id = prev_mss_id
         self.network.scheduler.schedule(
             self.network.config.transit_time,
             self._arrive,
@@ -160,6 +167,10 @@ class MobileHost(Host):
         )
 
     def _arrive(self, new_mss_id: str, prev_mss_id: Optional[str]) -> None:
+        if self.crashed:
+            # The host died mid-transit; the join it was carrying dies
+            # with it.  Recovery goes through crash()/recover() instead.
+            return
         if self.network.is_mss_crashed(new_mss_id):
             # The destination cell went dark during transit: its join
             # message would vanish, leaving the MH invisible forever.
@@ -176,6 +187,7 @@ class MobileHost(Host):
         self.session += 1
         self.state = HostState.CONNECTED
         self.current_mss_id = new_mss_id
+        self._transit_prev_mss_id = None
         self.last_received_seq = 0
         self.moves_completed += 1
         trace = self.network._trace
@@ -249,6 +261,63 @@ class MobileHost(Host):
         self.current_mss_id = None
         self.orphaned = True
 
+    def crash(self, amnesia: bool = False) -> None:
+        """Kill this host: all volatile state is lost and the radio goes
+        silent.
+
+        No ``disconnect(r)`` is sent -- a dead host sends nothing -- but
+        the serving cell notices the silence and records the MH as
+        disconnected, exactly as Section 2's flag would after a voluntary
+        disconnect.  That flag is what lets recovery reuse the ordinary
+        reconnect machinery: a non-amnesiac host reconnects naming its
+        old MSS (handoff pull); with ``amnesia=True`` it forgets even
+        where it was and the new MSS falls back to the broadcast
+        ``find_disconnect`` query.  A host that dies mid-transit is
+        flagged at the cell it last left (the join in flight dies with
+        it).  No-op if already crashed.
+        """
+        if self.crashed:
+            return
+        vouching_mss = (
+            self.current_mss_id if self.is_connected
+            else self._transit_prev_mss_id if self.in_transit
+            else self.disconnect_mss_id
+        )
+        if self.network._trace_on:
+            self.network._trace.emit(
+                "mh.crash",
+                scope=MOBILITY_SCOPE,
+                src=self.host_id,
+                mss=vouching_mss,
+                amnesia=amnesia,
+            )
+        if vouching_mss is not None:
+            self.network.mss(vouching_mss).note_mh_vanished(self.host_id)
+        self.crashed = True
+        self.state = HostState.DISCONNECTED
+        self.current_mss_id = None
+        self._transit_prev_mss_id = None
+        self.orphaned = False
+        #: invalidate every in-flight downlink toward the dead host.
+        self.session += 1
+        self.last_received_seq = 0
+        self.disconnect_mss_id = None if amnesia else vouching_mss
+
+    def recover(self, mss_id: str) -> None:
+        """Bring a crashed host back up, reattaching at ``mss_id``.
+
+        Recovery is just the Section 2 reconnect: with a remembered
+        ``disconnect_mss_id`` the new MSS pulls handoff state directly;
+        an amnesiac host reconnects without naming a previous MSS and
+        the broadcast query finds its disconnect flag.
+        """
+        if not self.crashed:
+            raise SimulationError(
+                f"{self.host_id} cannot recover: not crashed"
+            )
+        self.crashed = False
+        self.reconnect(mss_id, supply_prev=self.disconnect_mss_id is not None)
+
     def reconnect(self, mss_id: str, supply_prev: bool = True) -> None:
         """Reattach at ``mss_id``.
 
@@ -259,6 +328,10 @@ class MobileHost(Host):
         if not self.is_disconnected:
             raise NotConnectedError(
                 f"{self.host_id} cannot reconnect while {self.state.value}"
+            )
+        if self.crashed:
+            raise NotConnectedError(
+                f"{self.host_id} cannot reconnect while crashed"
             )
         self.network.mss(mss_id)  # validate destination exists
         if self.network.is_mss_crashed(mss_id):

@@ -148,6 +148,22 @@ class MobileSupportStation(Host):
         """Whether ``mh_id`` is currently in this cell."""
         return mh_id in self.local_mhs
 
+    def note_mh_vanished(self, mh_id: str) -> None:
+        """The cell noticed ``mh_id`` go silent (the host crashed).
+
+        Models the station's local liveness detection: no message is
+        exchanged, but the MH is recorded as disconnected here so that a
+        later reconnect -- direct or via the broadcast
+        ``find_disconnect`` query -- finds the Section 2 flag.  A crashed
+        station keeps no such state (its sets were already cleared).
+        """
+        if self.crashed:
+            return
+        self.local_mhs.discard(mh_id)
+        self.disconnected_mhs.add(mh_id)
+        for listener in self._disconnect_listeners:
+            listener(mh_id)
+
     # ------------------------------------------------------------------
     # Sending helpers
     # ------------------------------------------------------------------

@@ -36,6 +36,10 @@ from repro.monitor.base import Monitor, Violation
 from repro.monitor.health import HealthMonitor
 from repro.monitor.hub import MonitorHub, replay_events
 from repro.monitor.liveness import LivenessMonitor
+from repro.monitor.recovery import (
+    CrashRecoveryMonitor,
+    TokenConservationMonitor,
+)
 from repro.monitor.safety import (
     FifoOrderMonitor,
     HandoffMonitor,
@@ -62,6 +66,8 @@ __all__ = [
     "ReliableDeliveryMonitor",
     "HandoffMonitor",
     "LocationViewMonitor",
+    "CrashRecoveryMonitor",
+    "TokenConservationMonitor",
     "LivenessMonitor",
     "HealthMonitor",
 ]
@@ -78,6 +84,8 @@ def safety_monitors() -> List[Monitor]:
         ReliableDeliveryMonitor(),
         HandoffMonitor(),
         LocationViewMonitor(),
+        CrashRecoveryMonitor(),
+        TokenConservationMonitor(),
     ]
 
 

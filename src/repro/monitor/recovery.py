@@ -1,0 +1,164 @@
+"""Crash-recovery monitors: invariants for runs with MH crash faults.
+
+Two monitors certify what the recovery machinery promises when mobile
+hosts die and come back:
+
+* :class:`CrashRecoveryMonitor` — no critical-section activity from
+  pre-crash state: a crashed host must not (appear to) enter the CS,
+  a crash inside the CS must be followed by an *aborted* ``cs.exit``
+  (the algorithm disclaiming the dead grant), and a dead host must not
+  complete a CS it entered before dying.
+* :class:`TokenConservationMonitor` — no token is lost to an MH crash:
+  when the recorded grant holder of a ring scope crashes, the scope
+  must later show a sign of token life (a reissue, a regeneration, or
+  ordinary token traffic); a scope that stays silent to the end of the
+  run lost its token to the crash.
+
+Both are pure observers of the trace-event stream, like every monitor:
+they work online and over replayed traces, and add nothing to runs
+whose fault plan never kills an MH.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.monitor.base import Monitor
+from repro.trace.events import TraceEvent
+
+__all__ = ["CrashRecoveryMonitor", "TokenConservationMonitor"]
+
+
+class CrashRecoveryMonitor(Monitor):
+    """No CS entry, occupancy, or completion from pre-crash state.
+
+    Tracks which hosts are crashed (``fault.mh_crash`` ..
+    ``fault.mh_recover``) and which ``(scope, host)`` pairs are inside
+    a critical section.  A ``cs.enter`` by a crashed host is a ghost
+    entry; a crash while inside the CS obliges the algorithm to emit an
+    aborted ``cs.exit`` for that occupancy (L1/R1/R2 all disclaim the
+    dead grant this way), so a plain exit afterwards — or no exit at
+    all by the end of the run — means the protocol let pre-crash state
+    complete or linger.
+    """
+
+    name = "crash-recovery"
+    interests = ("fault.mh_crash", "fault.mh_recover",
+                 "cs.enter", "cs.exit")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._crashed: Set[str] = set()
+        self._in_cs: Set[Tuple[str, str]] = set()
+        #: (scope, mh) occupancies interrupted by a crash, awaiting
+        #: their aborted exit; value = crash time.
+        self._pending_abort: Dict[Tuple[str, str], float] = {}
+
+    def on_event(self, event: TraceEvent) -> None:
+        etype = event.etype
+        if etype == "fault.mh_crash":
+            mh = event.src
+            self._crashed.add(mh)
+            for key in sorted(self._in_cs):
+                if key[1] == mh:
+                    self._pending_abort[key] = event.time
+            return
+        if etype == "fault.mh_recover":
+            self._crashed.discard(event.src)
+            return
+        key = (event.scope, event.src)
+        if etype == "cs.enter":
+            if event.src in self._crashed:
+                self.violation(
+                    "recovery.ghost_entry", event.time,
+                    f"{event.src} entered the CS of {event.scope} "
+                    f"while crashed",
+                    scope=event.scope, mh=event.src)
+            self._in_cs.add(key)
+            return
+        # cs.exit
+        self._in_cs.discard(key)
+        crash_time = self._pending_abort.pop(key, None)
+        if crash_time is not None:
+            if not event.detail.get("aborted"):
+                self.violation(
+                    "recovery.unaborted_exit", event.time,
+                    f"{event.src} completed the CS of {event.scope} "
+                    f"it occupied when it crashed at t={crash_time:g}; "
+                    f"the grant should have been aborted",
+                    scope=event.scope, mh=event.src,
+                    crash_time=crash_time)
+        elif event.src in self._crashed:
+            self.violation(
+                "recovery.ghost_exit", event.time,
+                f"crashed host {event.src} exited the CS of "
+                f"{event.scope} it never occupied at crash time",
+                scope=event.scope, mh=event.src)
+
+    def finalize(self, now: float) -> None:
+        for (scope, mh), crash_time in sorted(self._pending_abort.items()):
+            self.violation(
+                "recovery.unaborted_occupancy", now,
+                f"{mh} crashed at t={crash_time:g} inside the CS of "
+                f"{scope} and the occupancy was never aborted",
+                scope=scope, mh=mh, crash_time=crash_time)
+
+
+class TokenConservationMonitor(Monitor):
+    """No ring token is lost to an MH crash.
+
+    A ``token.grant`` hands the scope's token to an MH; a normal
+    ``cs.exit`` by that MH means the grant ran its course (the return
+    is the grantor's problem, watched by the token-uniqueness and
+    liveness monitors).  If instead the recorded grant holder crashes,
+    the token it embodied is *at risk*: the scope must subsequently
+    show the token alive — an explicit reissue
+    (``r2.token_reissued``), a regeneration (``r2.regenerate``), or
+    ordinary token traffic (``token.arrive``, a fresh
+    ``token.grant``).  A scope still at risk when the run ends lost
+    its token to the crash.  R1 carries its token inside wireless
+    grants without token events, so this monitor covers the R2 family;
+    R1 regeneration is counted by its own fault metrics.
+    """
+
+    name = "token-conservation"
+    interests = ("token.grant", "token.arrive", "cs.exit",
+                 "r2.token_reissued", "r2.regenerate", "fault.mh_crash")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: scope -> MH currently holding an unreturned grant.
+        self._granted: Dict[str, Optional[str]] = {}
+        #: scope -> (crash time, crashed holder) awaiting proof of life.
+        self._at_risk: Dict[str, Tuple[float, str]] = {}
+
+    def on_event(self, event: TraceEvent) -> None:
+        etype = event.etype
+        scope = event.scope
+        if etype == "fault.mh_crash":
+            mh = event.src
+            for s, holder in sorted(self._granted.items()):
+                if holder == mh:
+                    self._granted[s] = None
+                    self._at_risk[s] = (event.time, mh)
+            return
+        if etype == "token.grant":
+            self._granted[scope] = event.dst
+            self._at_risk.pop(scope, None)
+            return
+        if etype in ("token.arrive", "r2.token_reissued", "r2.regenerate"):
+            self._at_risk.pop(scope, None)
+            return
+        # cs.exit: a completed (non-aborted) access retires the grant.
+        if self._granted.get(scope) == event.src \
+                and not event.detail.get("aborted"):
+            self._granted[scope] = None
+
+    def finalize(self, now: float) -> None:
+        for scope, (crash_time, mh) in sorted(self._at_risk.items()):
+            self.violation(
+                "recovery.token_lost", now,
+                f"the {scope} token granted to {mh} died with its "
+                f"holder at t={crash_time:g} and was never reissued "
+                f"or regenerated",
+                scope=scope, mh=mh, crash_time=crash_time)

@@ -401,6 +401,10 @@ class HandoffMonitor(Monitor):
     actually left (the handoff's ``prev`` pointer is how in-flight
     state chases the MH); a reconnect must follow a disconnect or
     orphaning; and at quiescence no MH may still be in transit.
+    A crash (``mh.crash``) is legal from any state — it silently
+    forces the host disconnected at the cell that vouches for it, and
+    the eventual recovery reconnect must name that cell (or none, for
+    an amnesiac host).
     Rerouted joins (the target MSS crashed mid-move) legitimately land
     elsewhere, so only the *origin* continuity is checked, never the
     destination.
@@ -408,7 +412,7 @@ class HandoffMonitor(Monitor):
 
     name = "handoff"
     interests = ("mh.leave", "mh.join", "mh.disconnect",
-                 "mh.orphaned", "mh.reconnect")
+                 "mh.orphaned", "mh.reconnect", "mh.crash")
 
     def __init__(self) -> None:
         super().__init__()
@@ -455,6 +459,12 @@ class HandoffMonitor(Monitor):
                     "handoff.lifecycle", event.time,
                     f"{mh} was orphaned while {status}",
                     mh=mh, status=status)
+            self._state[mh] = ("disconnected", event.detail.get("mss"))
+        elif etype == "mh.crash":
+            # A crash is legal in any state; the host ends up
+            # disconnected at whichever cell vouches for it (its
+            # current cell, the cell it last left mid-transit, or the
+            # cell it had disconnected from).
             self._state[mh] = ("disconnected", event.detail.get("mss"))
         else:  # mh.reconnect
             if status != "disconnected":

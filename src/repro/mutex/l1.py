@@ -16,7 +16,7 @@ glue, which is precisely the paper's framing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.mutex.lamport_core import LamportMutexNode, MutexTransport
@@ -88,12 +88,21 @@ class L1Mutex:
         self.kind_route = f"{scope}.route"
         self.completed: List[Tuple[float, str]] = []
         self._nodes: Dict[str, LamportMutexNode] = {}
+        #: mh_id -> scheduled exit event while inside the region
+        #: (tracked only under a fault plan, to abort on MH crash).
+        self._active: Dict[str, object] = {}
+        #: participants whose pending request was disclaimed by a crash
+        #: and should be resubmitted when the host recovers.
+        self._disclaimed: Set[str] = set()
         for mh_id in self.mh_ids:
             self._attach_mh(mh_id)
         for mss_id in network.mss_ids():
             network.mss(mss_id).register_handler(
                 self.kind_route, self._relay
             )
+        if network.faults is not None:
+            network.faults.add_mh_crash_listener(self._on_mh_crash)
+            network.faults.add_mh_recovery_listener(self._on_mh_recover)
 
     def _attach_mh(self, mh_id: str) -> None:
         mh = self.network.mobile_host(mh_id)
@@ -106,16 +115,29 @@ class L1Mutex:
         self._nodes[mh_id] = node
         mh.register_handler(
             f"{self.scope}.request",
-            lambda msg, n=node: n.on_request(msg.payload),
+            lambda msg, n=node: self._guarded(n.on_request, msg.payload),
         )
         mh.register_handler(
             f"{self.scope}.reply",
-            lambda msg, n=node: n.on_reply(msg.payload),
+            lambda msg, n=node: self._guarded(n.on_reply, msg.payload),
         )
         mh.register_handler(
             f"{self.scope}.release",
-            lambda msg, n=node: n.on_release(msg.payload),
+            lambda msg, n=node: self._guarded(n.on_release, msg.payload),
         )
+
+    def _guarded(self, handler: Callable[[object], None],
+                 payload: object) -> None:
+        """Process a protocol message unless its origin is known dead.
+
+        A request in flight when its sender crashed would re-enqueue the
+        ghost entry the survivors just disclaimed; such stragglers are
+        dropped until the origin recovers (and re-announces)."""
+        origin = getattr(payload, "origin", None)
+        if origin is not None and self.network.is_mh_crashed(origin):
+            self.network.metrics.record_fault("l1.stale_message_dropped")
+            return
+        handler(payload)
 
     # ------------------------------------------------------------------
 
@@ -156,11 +178,14 @@ class L1Mutex:
                 "cs.enter", scope=self.scope, src=mh_id
             )
         self.resource.enter(mh_id, info={"algorithm": self.scope})
-        self.network.scheduler.schedule(
+        event = self.network.scheduler.schedule(
             self.cs_duration, self._exit_region, mh_id
         )
+        if self.network.faults is not None:
+            self._active[mh_id] = event
 
     def _exit_region(self, mh_id: str) -> None:
+        self._active.pop(mh_id, None)
         self.resource.leave(mh_id)
         if self.network._trace_on:
             self.network._trace.emit(
@@ -176,3 +201,60 @@ class L1Mutex:
         self.completed.append((self.network.scheduler.now, mh_id))
         if self.on_complete is not None:
             self.on_complete(mh_id)
+
+    # ------------------------------------------------------------------
+    # MH crash tolerance
+    # ------------------------------------------------------------------
+
+    def _on_mh_crash(self, mh_id: str) -> None:
+        """A participant crashed: abort its access and disclaim its
+        requests at the surviving participants.
+
+        The crashed node's queue entries can never be released by the
+        node itself (its memory is gone), so the survivors purge them
+        locally -- otherwise the distributed queue head would point at
+        a ghost forever and mutual exclusion would stall system-wide.
+        """
+        if mh_id not in self._nodes:
+            return
+        node = self._nodes[mh_id]
+        event = self._active.pop(mh_id, None)
+        if event is not None:
+            event.cancel()
+            self.resource.leave(mh_id)
+            self.network.metrics.record_fault("l1.grant_aborted_by_crash")
+            if self.network._trace_on:
+                self.network._trace.emit(
+                    "cs.exit",
+                    scope=self.scope,
+                    src=mh_id,
+                    aborted=True,
+                    reason="mh.crash",
+                )
+        had_pending = bool(node.pending_tags())
+        node.reset_volatile()
+        if had_pending:
+            self._disclaimed.add(mh_id)
+        purged = 0
+        for peer_id, peer in self._nodes.items():
+            if peer_id != mh_id:
+                purged += peer.forget_origin(mh_id)
+        if purged or had_pending:
+            self.network.metrics.record_fault("l1.requests_disclaimed")
+
+    def _on_mh_recover(self, mh_id: str) -> None:
+        """Rebuild what the amnesiac rejoiner needs to be a safe peer.
+
+        The recovered node's queue is empty: if the survivors did not
+        retransmit their outstanding requests, the rejoiner would order
+        only its own post-recovery requests and two nodes could sit at
+        their queue heads simultaneously -- a mutual-exclusion
+        violation.  Every survivor therefore re-announces its pending
+        *and held* requests to the rejoiner, and a request the crash
+        disclaimed is resubmitted now that the host can transmit."""
+        for peer_id, peer in self._nodes.items():
+            if peer_id != mh_id:
+                peer.reannounce_to(mh_id)
+        if mh_id in self._disclaimed and mh_id in self._nodes:
+            self._disclaimed.discard(mh_id)
+            self.request(mh_id)

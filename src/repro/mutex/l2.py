@@ -126,6 +126,11 @@ class L2Mutex:
             self._attach_mss(mss_id)
         self._clients: Dict[str, bool] = {}
         self._owed_release: Dict[str, str] = {}
+        #: mh_id -> (grant, scheduled exit) while inside the region, so
+        #: a MH crash can vacate the CS instead of wedging the system.
+        self._active: Dict[str, Tuple[GrantPayload, object]] = {}
+        if network.faults is not None:
+            network.faults.add_mh_crash_listener(self._on_mh_crash)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -265,11 +270,14 @@ class L2Mutex:
             grant.mh_id,
             info={"algorithm": self.scope, "request_ts": grant.request_ts},
         )
-        self.network.scheduler.schedule(
+        exit_event = self.network.scheduler.schedule(
             self.cs_duration, self._exit_region, grant
         )
+        if self.network.faults is not None:
+            self._active[grant.mh_id] = (grant, exit_event)
 
     def _exit_region(self, grant: GrantPayload) -> None:
+        self._active.pop(grant.mh_id, None)
         self.resource.leave(grant.mh_id)
         if self.network._trace_on:
             self.network._trace.emit(
@@ -290,6 +298,48 @@ class L2Mutex:
                     f"{grant.mh_id} already owes a release"
                 )
             self._owed_release[grant.mh_id] = grant.proxy_mss_id
+
+    def _on_mh_crash(self, mh_id: str) -> None:
+        """L2's state lives at the stations, so a MH crash touches at
+        most one thing: the grant the crashed host was holding.
+
+        * Crashed *inside* the region: the proxy vacates the CS and
+          releases on the dead host's behalf (nobody else can), exactly
+          as it does for an unreachable grantee.
+        * Crashed *owing a release* (access complete, release unsent --
+          an amnesiac host would never send it): the serving cell's
+          crash detection lets the proxy disclaim the debt and release.
+        * Any other moment: nothing to do -- a pending ``init`` is
+          handled when its grant's search finds the host disconnected.
+        """
+        active = self._active.pop(mh_id, None)
+        if active is not None:
+            grant, exit_event = active
+            exit_event.cancel()
+            self.resource.leave(mh_id)
+            self.network.metrics.record_fault("l2.grant_aborted_by_crash")
+            if self.network._trace_on:
+                self.network._trace.emit(
+                    "cs.exit",
+                    scope=self.scope,
+                    src=mh_id,
+                    proxy=grant.proxy_mss_id,
+                    aborted=True,
+                    reason="mh.crash",
+                )
+            proxy = grant.proxy_mss_id
+            self._request_ts[proxy].pop(mh_id, None)
+            self._nodes[proxy].release(tag=mh_id)
+            self.aborted.append((self.network.scheduler.now, mh_id))
+            if self.on_aborted is not None:
+                self.on_aborted(mh_id)
+            return
+        proxy = self._owed_release.pop(mh_id, None)
+        if proxy is not None:
+            self.network.metrics.record_fault(
+                "l2.owed_release_disclaimed"
+            )
+            self._finish_release(proxy, mh_id)
 
     def _flush_owed(self, mh_id: str) -> None:
         proxy = self._owed_release.pop(mh_id, None)

@@ -159,6 +159,50 @@ class LamportMutexNode:
             self.transport.send(peer, self.kind_release, payload)
         self._check_grants()
 
+    def forget_origin(self, origin: str) -> int:
+        """Purge every queue entry contributed by ``origin``.
+
+        Used when ``origin``'s host crashed: its requests can never be
+        released by the crashed node itself, so surviving participants
+        disclaim them locally to keep the queue head reachable.
+        Returns the number of entries purged.
+        """
+        stale = [key for key in self._queue if key[0] == origin]
+        for key in stale:
+            del self._queue[key]
+        self._last_seen.pop(origin, None)
+        if stale:
+            self._check_grants()
+        return len(stale)
+
+    def reannounce_to(self, peer: str) -> None:
+        """Retransmit this node's pending requests to ``peer``.
+
+        ``peer``'s memory of them died in a crash; without the
+        retransmission the rejoiner's queue would order only its own
+        post-recovery requests, and two nodes could believe they are at
+        the queue head simultaneously.
+        """
+        outstanding = {**self._pending, **self._held}
+        for tag, ts in outstanding.items():
+            self.transport.send(
+                peer, self.kind_request, RequestPayload(ts, self.node_id, tag)
+            )
+
+    def reset_volatile(self) -> None:
+        """Drop all volatile protocol state (the host crashed).
+
+        The queue, pending and held requests, and the record of peers'
+        timestamps vanish with the host's memory.  The logical clock
+        object survives only as a simulation convenience: it keeps
+        ticking forward, so post-recovery requests carry fresh
+        timestamps that cannot collide with pre-crash ones.
+        """
+        self._queue.clear()
+        self._pending.clear()
+        self._held.clear()
+        self._last_seen.clear()
+
     # ------------------------------------------------------------------
     # Message handlers (wire these to the host's dispatcher)
     # ------------------------------------------------------------------

@@ -16,7 +16,7 @@ re-formed (not modelled -- the stall itself is the measured drawback).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.mutex.resource import CriticalResource
@@ -83,12 +83,21 @@ class R1Mutex:
         self.stalled_on: Optional[str] = None
         self._wants: Dict[str, bool] = {m: False for m in self.mh_ids}
         self._nodes: Dict[str, RingNode] = {}
+        #: mh_id -> (exit event, token) while inside the region
+        #: (tracked only under a fault plan, to abort on MH crash).
+        self._active: Dict[str, Tuple[object, Token]] = {}
+        #: members dropped from the ring by a crash repair, eligible for
+        #: re-admission when their host recovers.
+        self._removed_members: Set[str] = set()
         for mh_id in self.mh_ids:
             self._attach_mh(mh_id)
         for mss_id in network.mss_ids():
             network.mss(mss_id).register_handler(
                 self.kind_route, self._relay
             )
+        if network.faults is not None:
+            network.faults.add_mh_crash_listener(self._on_mh_crash)
+            network.faults.add_mh_recovery_listener(self._on_mh_recover)
 
     def _attach_mh(self, mh_id: str) -> None:
         mh = self.network.mobile_host(mh_id)
@@ -162,13 +171,16 @@ class R1Mutex:
                     "cs.enter", scope=self.scope, src=mh_id
                 )
             self.resource.enter(mh_id, info={"algorithm": self.scope})
-            self.network.scheduler.schedule(
+            event = self.network.scheduler.schedule(
                 self.cs_duration, self._exit_region, mh_id, forward
             )
+            if self.network.faults is not None:
+                self._active[mh_id] = (event, token)
         else:
             forward()
 
     def _exit_region(self, mh_id: str, forward: Callable[[], None]) -> None:
+        self._active.pop(mh_id, None)
         self.resource.leave(mh_id)
         if self.network._trace_on:
             self.network._trace.emit(
@@ -181,6 +193,19 @@ class R1Mutex:
 
     def _forward(self, src_mh_id: str, dst_mh_id: str, token: Token) -> None:
         mh = self.network.mobile_host(src_mh_id)
+        if mh.crashed:
+            # The holder crashed before it could transmit: the token
+            # dies in its memory.  Regenerate (auto_repair) or stall.
+            if not self.auto_repair:
+                self.stalled_on = src_mh_id
+                return
+            detecting = self._detecting_mss(src_mh_id)
+            if detecting is None:
+                self.stalled_on = src_mh_id
+                return
+            self.network.metrics.record_fault("r1.token_regenerated")
+            self._repair(detecting, src_mh_id, None, token)
+            return
         if not mh.is_connected:
             # The holder is mid-move; it can only transmit once it has
             # joined a new cell.  Retry until reattached.
@@ -247,6 +272,7 @@ class R1Mutex:
             self.mh_ids.remove(dead_mh_id)
             self._wants.pop(dead_mh_id, None)
             self._nodes.pop(dead_mh_id, None)
+            self._removed_members.add(dead_mh_id)
             new_ring = list(self.mh_ids)
             for survivor in new_ring:
                 self.network.send_to_mh(
@@ -289,3 +315,104 @@ class R1Mutex:
 
     def _apply_reconfig(self, node: RingNode, new_ring: List[str]) -> None:
         node.ring_order = list(new_ring)
+
+    # ------------------------------------------------------------------
+    # MH crash tolerance
+    # ------------------------------------------------------------------
+
+    def _detecting_mss(self, mh_id: str) -> Optional[str]:
+        """The station that noticed ``mh_id``'s silence (or any alive
+        station when the vouching cell is itself down)."""
+        mh = self.network.mobile_host(mh_id)
+        candidate = mh.disconnect_mss_id
+        if candidate is not None and not self.network.is_mss_crashed(
+            candidate
+        ):
+            return candidate
+        for mss_id in self.network.mss_ids():
+            if not self.network.is_mss_crashed(mss_id):
+                return mss_id
+        return None
+
+    def _on_mh_crash(self, mh_id: str) -> None:
+        """A ring member crashed: abort its access; if it held the
+        token, either stall (plain R1) or regenerate it at the ring
+        formed by the survivors (``auto_repair``)."""
+        if self.finished or mh_id not in self._nodes:
+            return
+        entry = self._active.pop(mh_id, None)
+        token: Optional[Token] = None
+        if entry is not None:
+            event, token = entry
+            event.cancel()
+            self.resource.leave(mh_id)
+            self.network.metrics.record_fault("r1.grant_aborted_by_crash")
+            if self.network._trace_on:
+                self.network._trace.emit(
+                    "cs.exit",
+                    scope=self.scope,
+                    src=mh_id,
+                    aborted=True,
+                    reason="mh.crash",
+                )
+        if token is None:
+            # The token is elsewhere; when it is next addressed to the
+            # crashed member the normal undeliverable path stalls or
+            # repairs the ring.
+            return
+        if not self.auto_repair:
+            # The token died with the host: plain R1 stops system-wide.
+            self.stalled_on = mh_id
+            return
+        detecting = self._detecting_mss(mh_id)
+        if detecting is None:
+            self.stalled_on = mh_id
+            return
+        # Simulation-level regeneration: the survivors re-form the ring
+        # and a fresh token (same bookkeeping counters) starts at the
+        # crashed member's successor.
+        self.network.metrics.record_fault("r1.token_regenerated")
+        self._repair(detecting, mh_id, None, token)
+
+    def _on_mh_recover(self, mh_id: str) -> None:
+        """Re-admit a crash-removed member to the ring (``auto_repair``).
+
+        The recovered host gets a fresh ring node (its pre-crash node
+        state died with it), every member learns the new ring order,
+        and the rejoiner resumes as an ordinary non-holding member."""
+        if (
+            self.finished
+            or not self.auto_repair
+            or mh_id not in self._removed_members
+        ):
+            return
+        self._removed_members.discard(mh_id)
+        if len(self.mh_ids) == 0:  # pragma: no cover - defensive
+            return
+        mh = self.network.mobile_host(mh_id)
+        mh.unregister_handler(f"{self.scope}.token")
+        mh.unregister_handler(f"{self.scope}.reconfig")
+        self.mh_ids.append(mh_id)
+        self._wants[mh_id] = False
+        self._attach_mh(mh_id)
+        self.network.metrics.record_fault("r1.member_rejoined")
+        announcing_mss = mh.current_mss_id
+        if announcing_mss is None:  # pragma: no cover - defensive
+            announcing_mss = self._detecting_mss(mh_id)
+            if announcing_mss is None:
+                return
+        new_ring = list(self.mh_ids)
+        for member in new_ring:
+            if member == mh_id:
+                continue
+            self.network.send_to_mh(
+                announcing_mss,
+                member,
+                Message(
+                    kind=self.kind_reconfig,
+                    src=announcing_mss,
+                    dst=member,
+                    payload=new_ring,
+                    scope=self.scope,
+                ),
+            )

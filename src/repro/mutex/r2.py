@@ -168,6 +168,10 @@ class R2Mutex:
         #: mh_id -> MSS where its unserved request was submitted.
         self._outstanding_req: Dict[str, str] = {}
         self._resubmit_pending: set = set()
+        #: mh_id -> (grant, scheduled exit) while inside the region;
+        #: fault-tolerant runs only, so a MH crash can vacate the CS.
+        self._active_grants: Dict[str, Tuple[RingGrantPayload,
+                                             object]] = {}
         self._nodes: Dict[str, RingNode] = {}
         self._request_queues: Dict[str, List[_PendingRequest]] = {}
         self._grant_queues: Dict[str, List[_PendingRequest]] = {}
@@ -183,6 +187,8 @@ class R2Mutex:
             self._attach_mss(mss_id)
         if self.fault_tolerant and network.faults is not None:
             network.faults.add_crash_listener(self._on_mss_crash)
+            network.faults.add_mh_crash_listener(self._on_mh_crash)
+            network.faults.add_mh_recovery_listener(self._on_mh_recover)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -547,6 +553,68 @@ class R2Mutex:
                 self._token_last_seen,
             )
 
+    def _on_mh_crash(self, mh_id: str) -> None:
+        if not self.fault_tolerant or self.finished:
+            return
+        active = self._active_grants.pop(mh_id, None)
+        if active is None:
+            # Not inside the region.  A queued or in-flight request is
+            # already covered: the grant's disconnected outcome defers
+            # it into the resubmission loop, which polls until the MH
+            # reattaches (and gives up only when the ring stops).
+            return
+        grant, exit_event = active
+        exit_event.cancel()
+        self.resource.leave(mh_id)
+        self.network.metrics.record_fault("r2.grant_aborted_by_crash")
+        if self.network._trace_on:
+            self.network._trace.emit(
+                "cs.exit",
+                scope=self.scope,
+                src=mh_id,
+                token_val=grant.token_val,
+                aborted=True,
+                reason="mh.crash",
+            )
+        # The crashed grantee will never send its return.  The physical
+        # token object still sits at the grantor; bump the epoch so the
+        # dead grant (and any late return forged from it) is stale, then
+        # hand service straight to the next requester -- no need to wait
+        # out the watchdog.
+        self._epoch += 1
+        grantor = grant.grantor_mss_id
+        token = self._tokens.get(grantor)
+        if token is not None and not self.network.mss(grantor).crashed:
+            token.epoch = self._epoch
+            self.network.metrics.record_fault("r2.token_reissued")
+            if self.network._trace_on:
+                self.network._trace.emit(
+                    "r2.token_reissued",
+                    scope=self.scope,
+                    src=grantor,
+                    epoch=self._epoch,
+                    mh_id=mh_id,
+                )
+            self._service_next(grantor)
+        else:
+            # The grantor (and the token with it) is gone too; fall back
+            # to the crash path's delayed regeneration.
+            self.network.scheduler.schedule(
+                max(2 * self.cs_duration, 5.0),
+                self._regen_if_stale,
+                self._token_last_seen,
+            )
+
+    def _on_mh_recover(self, mh_id: str) -> None:
+        if not self.fault_tolerant or self.finished:
+            return
+        if (mh_id in self._outstanding_req
+                and mh_id not in self._resubmit_pending):
+            # The host died with a request outstanding somewhere in the
+            # ring; an amnesiac host no longer remembers it, so the
+            # station-side bookkeeping resubmits on its behalf.
+            self._resubmit(mh_id)
+
     def _schedule_watchdog(self) -> None:
         self.network.scheduler.schedule(
             self.token_timeout / 2, self._check_token
@@ -681,11 +749,14 @@ class R2Mutex:
                 "token_val": grant.token_val,
             },
         )
-        self.network.scheduler.schedule(
+        exit_event = self.network.scheduler.schedule(
             self.cs_duration, self._exit_region, grant
         )
+        if self.fault_tolerant:
+            self._active_grants[grant.mh_id] = (grant, exit_event)
 
     def _exit_region(self, grant: RingGrantPayload) -> None:
+        self._active_grants.pop(grant.mh_id, None)
         self.resource.leave(grant.mh_id)
         if self.network._trace_on:
             self.network._trace.emit(

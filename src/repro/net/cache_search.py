@@ -39,6 +39,14 @@ class CachingSearch(SearchProtocol):
     def record_forward(self, network: "Network", scope: str) -> None:
         network.metrics.record_search_probe(scope, count=1)
 
+    def on_mh_crashed(self, network: "Network", mh_id: str) -> None:
+        # Every cached location for the crashed host points at a cell it
+        # silently vanished from; purge rather than pay a guaranteed
+        # 2-probe miss at every caching MSS after the host recovers.
+        stale = [key for key in self._cache if key[1] == mh_id]
+        for key in stale:
+            del self._cache[key]
+
     def search(
         self,
         network: "Network",

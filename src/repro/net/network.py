@@ -185,6 +185,10 @@ class Network:
         """Inform location-maintaining search protocols about a join."""
         self.search_protocol.on_mh_joined(self, mh_id, mss_id)
 
+    def notify_mh_crashed(self, mh_id: str) -> None:
+        """Have location-caching search protocols purge the crashed MH."""
+        self.search_protocol.on_mh_crashed(self, mh_id)
+
     # ------------------------------------------------------------------
     # Fault injection and reliable delivery (both optional)
     # ------------------------------------------------------------------
@@ -215,6 +219,11 @@ class Network:
     def is_mss_crashed(self, mss_id: str) -> bool:
         """Whether ``mss_id`` is currently down (always False fault-free)."""
         return self.mss(mss_id).crashed
+
+    def is_mh_crashed(self, mh_id: str) -> bool:
+        """Whether MH ``mh_id`` is currently down (always False
+        fault-free)."""
+        return self.mobile_host(mh_id).crashed
 
     def next_alive_mss(self, start_id: str) -> Optional[str]:
         """The first non-crashed MSS at or after ``start_id`` in

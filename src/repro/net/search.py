@@ -89,6 +89,14 @@ class SearchProtocol:
         this; the default is a no-op.
         """
 
+    def on_mh_crashed(self, network: "Network", mh_id: str) -> None:
+        """Hook invoked when a MH crashes (fault injection).
+
+        Protocols that cache location state override this to purge
+        entries for the crashed host -- they point at a cell the host
+        silently vanished from; the default is a no-op.
+        """
+
     def record_forward(self, network: "Network", scope: str) -> None:
         """Account for forwarding the payload after a successful search.
 
@@ -304,6 +312,11 @@ class HomeAgentSearch(SearchProtocol):
         home = self.home_of(network, mh_id)
         if home != mss_id:
             network.metrics.record_fixed(MAINTENANCE_SCOPE)
+
+    def on_mh_crashed(self, network: "Network", mh_id: str) -> None:
+        # The home assignment is permanent, but the last-known cell is
+        # now a ghost entry: drop it until the host rejoins somewhere.
+        self._last_known.pop(mh_id, None)
 
     def record_forward(self, network: "Network", scope: str) -> None:
         network.metrics.record_search_probe(scope, count=1)

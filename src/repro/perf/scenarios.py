@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Tuple
 
 from repro.facade import Simulation
-from repro.faults import FaultPlan, LinkFault
+from repro.faults import FaultPlan, LinkFault, MhCrash
 from repro.metrics import CostModel
 from repro.mobility import UniformMobility
 from repro.mutex import CriticalResource, L2Mutex
@@ -141,6 +141,50 @@ def reliable_churn(n_mss: int, n_mh: int, duration: float = 120.0) -> int:
     return sim.scheduler.events_processed
 
 
+def recovery_churn(n_mss: int, n_mh: int, duration: float = 300.0,
+                   crash_every: float = 12.0) -> int:
+    """MH crash/recovery cycles under distance-based checkpointing.
+
+    Hosts keep producing recoverable work (checkpoint uplinks, meta
+    riding every handoff) while a staggered plan crashes them round
+    robin and brings each back 8 time units later -- so the run
+    continuously exercises the save path, the stale-state purges at
+    crash time, and the trail-walking fetch/restore at recovery.
+    """
+    from repro.recovery import CounterClient
+
+    crashes = []
+    t, i = 20.0, 0
+    while t + 8.0 < duration - 20.0:
+        crashes.append(MhCrash(f"mh-{i % n_mh}", at=t,
+                               recover_at=t + 8.0,
+                               amnesia=(i % 3 == 0)))
+        t += crash_every
+        i += 1
+    plan = FaultPlan(mh_crashes=tuple(crashes), seed=41)
+    sim = _make_sim(n_mss, n_mh, seed=43, fault_plan=plan,
+                    recovery="distance:2")
+    counter = CounterClient(sim.recovery)
+    rng = random.Random(47)
+
+    def work_one() -> None:
+        mh_id = sim.mh_id(rng.randrange(n_mh))
+        if not sim.network.mobile_host(mh_id).crashed:
+            counter.note_work(mh_id)
+
+    driver = PoissonProcess(sim.scheduler, 2.0, work_one,
+                            rng=random.Random(53))
+    mobility = UniformMobility(sim.network, sim.mh_ids, 0.05,
+                               rng=random.Random(59))
+    sim.run(until=duration)
+    driver.stop()
+    mobility.stop()
+    sim.drain()
+    if sim.recovery.checkpoints_taken == 0 or not sim.recovery.restored:
+        raise AssertionError("recovery_churn recovered nothing")
+    return sim.scheduler.events_processed
+
+
 def cancel_storm(n_events: int = 400_000) -> int:
     """Pure scheduler stress: schedule in waves, cancel most events
     before they fire.  Isolates heap push/pop and the lazy-cancellation
@@ -232,6 +276,14 @@ _register(Scenario(
     run=lambda: search_messaging(6, 30, 600.0, rate=2.0),
     smoke=True,
     tags=("search", "smoke"),
+))
+_register(Scenario(
+    name="smoke_recovery",
+    description="MH crash/recovery churn under distance-based "
+                "checkpointing (M=6, N=24) for the CI gate",
+    run=lambda: recovery_churn(6, 24, 2400.0),
+    smoke=True,
+    tags=("faults", "recovery", "smoke"),
 ))
 _register(Scenario(
     name="reliable_churn",

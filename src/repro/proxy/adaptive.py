@@ -136,6 +136,13 @@ class AdaptiveProxyPolicy(ProxyPolicy):
         """Proxy-side register update (invoked by the manager)."""
         self.location_register.update(mh_id, mss_id, session)
 
+    def on_mh_crashed(self, mh_id: str) -> None:
+        if mh_id not in self.assignment:
+            return
+        session = self._manager.network.mobile_host(mh_id).session
+        self.location_register.purge(mh_id, session)
+        self._uses_streak[mh_id] = 0
+
     def _note_use(self, mh_id: str, located_at: str) -> None:
         self._uses_streak[mh_id] += 1
         self._moves_streak[mh_id] = 0
@@ -218,7 +225,13 @@ class AdaptiveProxyPolicy(ProxyPolicy):
                         mh_id, at_mss_id
                     ),
                 )
-            elif mh_id in mss.disconnected_mhs:
+            elif (
+                mh_id in mss.disconnected_mhs
+                or network.is_mh_crashed(mh_id)
+            ):
+                # The crashed host's vanish flag may live in a cell
+                # other than the believed one; resolve instead of
+                # retrying until it recovers.
                 if on_missed is not None:
                     on_missed(mh_id)
             else:

@@ -57,6 +57,12 @@ class ProxyManager:
             mss.register_handler(self.kind_relay, self._on_relay)
             mss.register_handler(self.kind_inform, self._on_inform)
         policy.wire(self)
+        if network.faults is not None:
+            network.faults.add_mh_crash_listener(self._on_mh_crash)
+
+    def _on_mh_crash(self, mh_id: str) -> None:
+        if mh_id in self.mh_ids:
+            self.policy.on_mh_crashed(mh_id)
 
     # ------------------------------------------------------------------
     # MH -> proxy

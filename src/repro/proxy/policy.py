@@ -33,15 +33,32 @@ class LocationRegister:
         self._entries[mh_id] = (session, mss_id)
         return True
 
+    def purge(self, mh_id: str, session: int) -> None:
+        """Tombstone the entry for a crashed MH.
+
+        The location is dropped (it points at a cell the host silently
+        vanished from) but the session floor is kept, so in-flight
+        informs from *before* the crash cannot resurrect the stale
+        location; the post-recovery join carries a higher session and
+        repopulates the register normally.
+        """
+        self._entries[mh_id] = (session, None)
+
     def get(self, mh_id: str, default: Optional[str] = None):
         entry = self._entries.get(mh_id)
-        return default if entry is None else entry[1]
+        if entry is None or entry[1] is None:
+            return default
+        return entry[1]
 
     def __getitem__(self, mh_id: str) -> str:
-        return self._entries[mh_id][1]
+        mss_id = self._entries[mh_id][1]
+        if mss_id is None:
+            raise KeyError(mh_id)
+        return mss_id
 
     def __contains__(self, mh_id: str) -> bool:
-        return mh_id in self._entries
+        entry = self._entries.get(mh_id)
+        return entry is not None and entry[1] is not None
 
 
 class ProxyPolicy:
@@ -80,6 +97,13 @@ class ProxyPolicy:
     ) -> None:
         """Route a message from a proxy to the MH itself."""
         raise NotImplementedError
+
+    def on_mh_crashed(self, mh_id: str) -> None:
+        """Hook invoked when a managed MH crashes (fault injection).
+
+        Policies that keep location registers override this to purge
+        the crashed host's entry; the default is a no-op.
+        """
 
 
 class LocalProxyPolicy(ProxyPolicy):
@@ -210,6 +234,12 @@ class FixedProxyPolicy(ProxyPolicy):
         """Proxy-side handler: update the location register."""
         self.location_register.update(mh_id, mss_id, session)
 
+    def on_mh_crashed(self, mh_id: str) -> None:
+        if mh_id not in self.assignment:
+            return
+        session = self._manager.network.mobile_host(mh_id).session
+        self.location_register.purge(mh_id, session)
+
     def deliver(
         self,
         manager: "ProxyManager",
@@ -252,7 +282,15 @@ class FixedProxyPolicy(ProxyPolicy):
                     ),
                     on_lost=lambda message: retry(),
                 )
-            elif mh_id in mss.disconnected_mhs:
+            elif (
+                mh_id in mss.disconnected_mhs
+                or network.is_mh_crashed(mh_id)
+            ):
+                # Disconnected here -- or crashed anywhere: a crashed
+                # host's vanish flag lives in whichever cell noticed
+                # the silence, which need not be the believed one, so
+                # without the explicit check the retry loop would spin
+                # until the host recovers.
                 if on_missed is not None:
                     on_missed(mh_id)
             else:

@@ -1,0 +1,118 @@
+"""Recovery clients: the protocol-side state that checkpoints cover.
+
+A client owns some per-MH volatile state worth protecting.  It reports
+progress to the manager (which the policy may turn into a checkpoint),
+loses its live copy when the host crashes, and reinstates whatever the
+latest checkpoint captured when the restore arrives.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
+
+from repro.recovery.manager import RecoveryManager
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    pass
+
+
+class RecoveryClient:
+    """Interface: one protocol's share of the recoverable state."""
+
+    #: unique name keying this client's share inside a checkpoint.
+    name = "client"
+
+    def capture(self, mh_id: str) -> object:
+        """Snapshot this client's state at ``mh_id`` for a checkpoint."""
+        raise NotImplementedError
+
+    def on_crash(self, mh_id: str) -> None:
+        """The host died: drop the live copy (volatile state is gone)."""
+
+    def restore(self, mh_id: str, state: Optional[object]) -> None:
+        """Reinstate ``state`` after recovery (``None`` = no checkpoint
+        survived; restart from nothing)."""
+        raise NotImplementedError
+
+
+class CounterClient(RecoveryClient):
+    """A unit-of-work counter per MH -- the benchmark's workload.
+
+    ``note_work`` models the host completing one unit of recoverable
+    computation; the difference between work performed and the counter
+    after a crash+restore cycle is exactly the *recomputation* a
+    checkpoint policy failed to protect.
+    """
+
+    name = "counter"
+
+    def __init__(self, manager: RecoveryManager) -> None:
+        self._manager = manager
+        manager.add_client(self)
+        self.work: Dict[str, int] = {m: 0 for m in manager.mh_ids}
+        #: units wiped by crashes before any checkpoint covered them.
+        self.lost: Dict[str, int] = {m: 0 for m in manager.mh_ids}
+
+    def note_work(self, mh_id: str, units: int = 1) -> None:
+        """Perform ``units`` of recoverable work at ``mh_id``."""
+        self.work[mh_id] = self.work.get(mh_id, 0) + units
+        for _ in range(units):
+            self._manager.note_progress(mh_id)
+
+    def capture(self, mh_id: str) -> int:
+        return self.work.get(mh_id, 0)
+
+    def on_crash(self, mh_id: str) -> None:
+        self.lost[mh_id] = self.work.get(mh_id, 0)
+        self.work[mh_id] = 0
+
+    def restore(self, mh_id: str, state: Optional[object]) -> None:
+        recovered = int(state) if state is not None else 0
+        self.work[mh_id] = recovered
+        self.lost[mh_id] = max(0, self.lost.get(mh_id, 0) - recovered)
+
+
+class MutexCheckpointClient(RecoveryClient):
+    """Protects a MH's outstanding mutual-exclusion request.
+
+    The wrapped algorithm calls :meth:`note_requested` /
+    :meth:`note_completed`; a restore finding an unserved request
+    resubmits it through ``resubmit`` -- so a crash between request and
+    grant does not silently drop the host's claim to the region.
+    """
+
+    name = "mutex"
+
+    def __init__(
+        self,
+        manager: RecoveryManager,
+        resubmit: Callable[[str], None],
+    ) -> None:
+        self._manager = manager
+        manager.add_client(self)
+        self._resubmit = resubmit
+        self.outstanding: Set[str] = set()
+        self.resubmitted: List[str] = []
+
+    def note_requested(self, mh_id: str) -> None:
+        self.outstanding.add(mh_id)
+        self._manager.note_progress(mh_id)
+
+    def note_completed(self, mh_id: str) -> None:
+        self.outstanding.discard(mh_id)
+        # Completion is progress worth protecting too: a checkpoint
+        # still claiming the request would make a later restore
+        # resubmit an already-served access.
+        self._manager.note_progress(mh_id)
+
+    def capture(self, mh_id: str) -> bool:
+        return mh_id in self.outstanding
+
+    def on_crash(self, mh_id: str) -> None:
+        self.outstanding.discard(mh_id)
+
+    def restore(self, mh_id: str, state: Optional[object]) -> None:
+        if state and mh_id not in self.outstanding:
+            self.outstanding.add(mh_id)
+            self.resubmitted.append(mh_id)
+            self._resubmit(mh_id)

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List
 
 from repro.facade import Simulation
-from repro.faults import FaultPlan, LinkFault, MssCrash
+from repro.faults import FaultPlan, LinkFault, MhCrash, MssCrash
 from repro.groups.location_view import LocationViewGroup
 from repro.mutex import (
     CriticalResource,
@@ -282,6 +282,60 @@ def scenario_r2_crash_recovery() -> ScenarioRun:
     )
 
 
+def scenario_mh_crash_recovery() -> ScenarioRun:
+    """An MH crash recovered from a distance-based checkpoint."""
+    from repro.recovery import CounterClient
+
+    plan = FaultPlan(
+        mh_crashes=(MhCrash("mh-0", at=14.0, recover_at=20.0),),
+        seed=1,
+    )
+    sim = Simulation(n_mss=3, n_mh=2, seed=1, trace=True,
+                     fault_plan=plan, recovery="distance:3")
+    counter = CounterClient(sim.recovery)
+    # One unit of work in the starting cell homes a checkpoint there;
+    # two handoffs then drag the checkpoint *pointer* (never the
+    # payload) along; a second unit after the moves stays unprotected
+    # and is what the crash visibly costs.
+    sim.scheduler.schedule(1.0, counter.note_work, "mh-0")
+    sim.scheduler.schedule(4.0, sim.mh(0).move_to, "mss-1")
+    sim.scheduler.schedule(8.0, sim.mh(0).move_to, "mss-2")
+    sim.scheduler.schedule(11.0, counter.note_work, "mh-0")
+    sim.drain()
+    return ScenarioRun(
+        name="mh_crash_recovery",
+        title="MH crash recovery from a distance-based checkpoint",
+        intro=(
+            "mh-0 performs a unit of recoverable work in mss-0's "
+            "cell; the distance-3 policy checkpoints it immediately "
+            "(`recovery.checkpoint` -> `recovery.save`, one wireless "
+            "uplink) and the payload stays at mss-0. Two handoffs "
+            "later the host is at mss-2, and only the tiny checkpoint "
+            "*meta* travelled with it, riding the Section 2 handoff "
+            "for free -- its trail now reads mss-1, mss-0. At t=14 "
+            "the host crashes (`fault.mh_crash`): the second, "
+            "never-checkpointed unit of work dies with it. Recovery "
+            "at t=20 replays the ordinary reconnect, and the local "
+            "meta starts the fetch (`recovery.fetch`, distance 2): "
+            "one fixed hop per trail entry walks mss-1 to mss-0, the "
+            "home returns the payload to mss-2 (`recovery.payload`), "
+            "the checkpoint is *re-homed* there, and one wireless "
+            "downlink (`recovery.restore`) reinstates the counter. "
+            "The recovery cost is bounded by how far the host moved "
+            "since the checkpoint -- never by how long it ran."
+        ),
+        sim=sim,
+        notes=[
+            f"checkpoints taken: {sim.recovery.checkpoints_taken}",
+            f"restored: {sim.recovery.restored}",
+            f"work after recovery: {counter.work['mh-0']} "
+            f"(lost to the crash: {counter.lost['mh-0']})",
+            "recovery.ckpt prices the overhead while healthy; "
+            "recovery.restore prices the fetch walk after the crash",
+        ],
+    )
+
+
 #: every canonical scenario, by name (the ``repro trace`` CLI menu).
 SCENARIOS: Dict[str, Callable[[], ScenarioRun]] = {
     "l1": scenario_l1,
@@ -290,6 +344,7 @@ SCENARIOS: Dict[str, Callable[[], ScenarioRun]] = {
     "location_view_move": scenario_location_view_move,
     "reliable_retransmit": scenario_reliable_retransmit,
     "r2_crash_recovery": scenario_r2_crash_recovery,
+    "mh_crash_recovery": scenario_mh_crash_recovery,
 }
 
 

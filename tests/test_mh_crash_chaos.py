@@ -1,0 +1,198 @@
+"""Chaos tests: mobile-host crashes, alone and combined with MSS
+crashes and message loss.
+
+The acceptance scenario for the MH fault layer: plans that crash hosts
+mid-protocol (some amnesiac), crash a station on top, and drop fixed
+messages -- and every algorithm in the family still grants the region
+to a post-recovery requester without ever violating an invariant.
+
+The base seed can be overridden with ``REPRO_CHAOS_SEED`` so CI can
+sweep several seeds without editing the suite.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import (
+    CriticalResource,
+    FaultPlan,
+    L1Mutex,
+    L2Mutex,
+    LinkFault,
+    LivenessMonitor,
+    MhCrash,
+    MssCrash,
+    R1Mutex,
+    R2Mutex,
+    R2Variant,
+    Simulation,
+    safety_monitors,
+)
+from repro.net import ConstantLatency, NetworkConfig
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "7"))
+
+ALL_VARIANTS = [R2Variant.PLAIN, R2Variant.COUNTER, R2Variant.TOKEN_LIST]
+
+
+def chaos_monitors():
+    """The full safety set plus a liveness watchdog sized for any CI
+    sweep seed (crash windows honestly delay service for long stretches;
+    only a wedged run should trip it)."""
+    return safety_monitors() + [
+        LivenessMonitor(request_deadline=1000.0, token_deadline=1000.0)
+    ]
+
+
+def chaos_sim(plan, n_mss=4, n_mh=6, seed=CHAOS_SEED):
+    config = NetworkConfig(
+        fixed_latency=ConstantLatency(1.0),
+        wireless_latency=ConstantLatency(0.5),
+    )
+    return Simulation(
+        n_mss=n_mss, n_mh=n_mh, seed=seed, config=config,
+        fault_plan=plan, monitors=chaos_monitors(),
+    )
+
+
+def combined_plan(seed=CHAOS_SEED):
+    """MSS crash + MH crashes (one amnesiac) + 5% fixed-message loss."""
+    return FaultPlan(
+        link_faults=(LinkFault(drop=0.05),),
+        crashes=(MssCrash("mss-2", at=30.0, recover_at=80.0),),
+        mh_crashes=(
+            MhCrash("mh-1", at=20.0, recover_at=45.0),
+            MhCrash("mh-3", at=55.0, recover_at=75.0, amnesia=True),
+        ),
+        seed=seed,
+    )
+
+
+def mh_only_plan(seed=CHAOS_SEED, amnesia=True):
+    return FaultPlan(
+        mh_crashes=(
+            MhCrash("mh-0", at=6.0, recover_at=22.0, amnesia=amnesia),
+        ),
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# R2 under the combined matrix: the flagship algorithm must serve every
+# submitted request through MSS *and* MH crashes.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS, ids=lambda v: v.value)
+def test_r2_serves_everyone_through_combined_faults(variant):
+    sim = chaos_sim(combined_plan(), n_mh=6)
+    resource = CriticalResource(sim.scheduler)
+    mutex = R2Mutex(
+        sim.network,
+        resource,
+        variant=variant,
+        max_traversals=300,
+        token_timeout=30.0,
+    )
+    for i in range(6):
+        sim.scheduler.schedule(1.0 + 9.0 * i, mutex.request, f"mh-{i}")
+    mutex.start()
+    sim.drain()
+    sim.assert_invariants()
+    served = {mh_id for (_, mh_id) in mutex.completed}
+    assert served == set(sim.mh_ids)
+    resource.assert_no_overlap()
+    snap = sim.metrics.snapshot()
+    # The plan really did bite on every axis.
+    assert snap.fault_total("mss.crash") == 1
+    assert snap.fault_total("mh.crash") == 2
+    assert snap.fault_total("mh.recover") == 2
+    hub = sim.monitor_hub
+    assert hub is not None
+    assert hub.ok, hub.report()
+    assert hub.violations == []
+
+
+# ----------------------------------------------------------------------
+# Post-recovery grants: each algorithm in the family must grant the
+# region to a requester that crashed and came back -- amnesiac, with
+# its volatile protocol state gone.
+# ----------------------------------------------------------------------
+
+
+def _assert_clean(sim, resource, mutex, must_serve):
+    sim.assert_invariants()
+    served = {mh_id for (_, mh_id) in mutex.completed}
+    assert must_serve <= served, f"unserved: {must_serve - served}"
+    resource.assert_no_overlap()
+    hub = sim.monitor_hub
+    assert hub.ok, hub.report()
+    assert hub.violations == []
+
+
+def test_l1_grants_to_post_recovery_requester():
+    sim = chaos_sim(mh_only_plan(), n_mss=3, n_mh=3)
+    resource = CriticalResource(sim.scheduler)
+    mutex = L1Mutex(sim.network, sim.mh_ids, resource, cs_duration=2.0)
+    sim.scheduler.schedule_at(1.0, mutex.request, "mh-1")
+    # mh-0 asks only after its recovery at 22.0: the amnesiac rejoiner
+    # must be re-announced to and then served.
+    sim.scheduler.schedule_at(25.0, mutex.request, "mh-0")
+    sim.drain()
+    _assert_clean(sim, resource, mutex, {"mh-0", "mh-1"})
+
+
+def test_l2_grants_to_post_recovery_requester():
+    sim = chaos_sim(mh_only_plan(), n_mss=3, n_mh=3)
+    resource = CriticalResource(sim.scheduler)
+    mutex = L2Mutex(sim.network, resource, cs_duration=2.0)
+    sim.scheduler.schedule_at(1.0, mutex.request, "mh-1")
+    sim.scheduler.schedule_at(25.0, mutex.request, "mh-0")
+    sim.drain()
+    _assert_clean(sim, resource, mutex, {"mh-0", "mh-1"})
+
+
+def test_r1_grants_to_post_recovery_requester():
+    sim = chaos_sim(mh_only_plan(), n_mss=3, n_mh=3)
+    resource = CriticalResource(sim.scheduler)
+    mutex = R1Mutex(
+        sim.network, sim.mh_ids, resource,
+        cs_duration=2.0, max_traversals=80, auto_repair=True,
+    )
+    mutex.want("mh-1")
+    sim.scheduler.schedule_at(25.0, mutex.want, "mh-0")
+    mutex.start()
+    sim.drain()
+    _assert_clean(sim, resource, mutex, {"mh-0", "mh-1"})
+
+
+def test_r2_grants_to_post_recovery_requester():
+    sim = chaos_sim(mh_only_plan(), n_mss=3, n_mh=3)
+    resource = CriticalResource(sim.scheduler)
+    mutex = R2Mutex(
+        sim.network, resource, max_traversals=80, token_timeout=30.0,
+    )
+    sim.scheduler.schedule(1.0, mutex.request, "mh-1")
+    sim.scheduler.schedule_at(25.0, mutex.request, "mh-0")
+    mutex.start()
+    sim.drain()
+    _assert_clean(sim, resource, mutex, {"mh-0", "mh-1"})
+
+
+def test_r2_serves_request_lost_to_crash():
+    """A request submitted just before the crash is resubmitted by the
+    recovery hooks -- the claim survives the host's amnesia."""
+    sim = chaos_sim(mh_only_plan(), n_mss=3, n_mh=3)
+    resource = CriticalResource(sim.scheduler)
+    mutex = R2Mutex(
+        sim.network, resource, max_traversals=80, token_timeout=30.0,
+    )
+    # Submitted at 5.5, crash at 6.0: the grant cannot land in time.
+    sim.scheduler.schedule_at(5.5, mutex.request, "mh-0")
+    sim.scheduler.schedule_at(8.0, mutex.request, "mh-1")
+    mutex.start()
+    sim.drain()
+    _assert_clean(sim, resource, mutex, {"mh-0", "mh-1"})
