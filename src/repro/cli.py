@@ -210,6 +210,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the final health sample as Prometheus text to PATH",
     )
 
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="run the declarative chaos-scenario pack under the "
+             "invariant monitors (see docs/scenarios.md)",
+    )
+    scenarios.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="run one scenario (default: all matching --tag)",
+    )
+    scenarios.add_argument(
+        "--tag", default=None, metavar="TAG",
+        help="restrict to scenarios carrying TAG (e.g. 'chaos')",
+    )
+    scenarios.add_argument(
+        "--seeds", default=None, metavar="S1,S2,...",
+        help="comma-separated seeds to certify across "
+             "(default: each scenario's own seed)",
+    )
+    scenarios.add_argument(
+        "--report-dir", default=None, metavar="DIR",
+        help="write one structured JSON report per run into DIR",
+    )
+    scenarios.add_argument(
+        "--file", default=None, metavar="PATH",
+        help="run a scenario spec from PATH instead of the built-in "
+             "pack",
+    )
+    scenarios.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list the pack (names, tags, titles) and exit",
+    )
+
     perf = sub.add_parser(
         "perf",
         help="measure events/sec on the curated perf scenarios",
@@ -759,6 +791,87 @@ def _run_monitor(args, emit) -> int:
     return 1
 
 
+def _run_scenarios(args, emit) -> int:
+    import json
+    import os
+
+    from repro.errors import ConfigurationError
+    from repro.scenario import (
+        builtin_registry,
+        load_file,
+        render_summary,
+        run_scenario,
+    )
+
+    try:
+        registry = builtin_registry()
+    except ConfigurationError as exc:
+        raise SystemExit(f"scenarios: {exc}") from exc
+
+    if args.list_scenarios:
+        for spec in registry.specs(args.tag):
+            tags = ",".join(spec.tags)
+            emit(f"{spec.name:<28} [{tags}] {spec.title}")
+        return 0
+
+    if args.file is not None:
+        try:
+            specs = [load_file(args.file)]
+        except (OSError, ConfigurationError) as exc:
+            raise SystemExit(f"scenarios: {exc}") from exc
+    elif args.scenario is not None:
+        try:
+            specs = [registry.get(args.scenario)]
+        except KeyError as exc:
+            raise SystemExit(f"scenarios: {exc.args[0]}") from exc
+    else:
+        specs = registry.specs(args.tag)
+        if not specs:
+            raise SystemExit(
+                f"scenarios: no scenario carries tag {args.tag!r}; "
+                f"tags: {', '.join(registry.tags())}"
+            )
+
+    seeds = None
+    if args.seeds is not None:
+        try:
+            seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+        except ValueError:
+            raise SystemExit(
+                f"scenarios: --seeds must be comma-separated integers, "
+                f"got {args.seeds!r}"
+            ) from None
+        if not seeds:
+            raise SystemExit("scenarios: --seeds is empty")
+
+    if args.report_dir is not None:
+        os.makedirs(args.report_dir, exist_ok=True)
+    results = []
+    for spec in specs:
+        for seed in (seeds if seeds is not None else [spec.seed]):
+            result = run_scenario(spec, seed=seed)
+            results.append(result)
+            if args.report_dir is not None:
+                path = os.path.join(
+                    args.report_dir, f"{spec.name}-seed{seed}.json"
+                )
+                with open(path, "w", encoding="utf-8") as fh:
+                    json.dump(result.report, fh, indent=2)
+                    fh.write("\n")
+    for line in render_summary(results):
+        emit(line)
+    if args.report_dir is not None:
+        emit(f"wrote {len(results)} report(s) to {args.report_dir}")
+    failed = [r for r in results if not r.ok]
+    if failed:
+        emit(f"{len(failed)} of {len(results)} run(s) FAILED "
+             f"certification")
+        return 1
+    emit(f"all {len(results)} run(s) certified: every invariant held, "
+         f"every expectation met")
+    return 0
+
+
 def _run_perf(args, emit) -> int:
     from repro.errors import ConfigurationError
     from repro.perf import SCENARIOS, run_scenario, scenario_names
@@ -798,6 +911,8 @@ def main(argv: Optional[List[str]] = None, emit=print) -> int:
         return _run_trace(args, emit)
     if args.command == "monitor":
         return _run_monitor(args, emit)
+    if args.command == "scenarios":
+        return _run_scenarios(args, emit)
     if args.command == "perf":
         return _run_perf(args, emit)
     raise SystemExit(f"unknown command {args.command!r}")

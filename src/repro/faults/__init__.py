@@ -46,6 +46,8 @@ def apply_fault_plan(network, plan: FaultPlan) -> FaultInjector:
     true, the reliable-delivery layer with the plan's retransmission
     knobs.
     """
+    import random
+
     injector = FaultInjector(plan)
     network.install_faults(injector)
     if plan.reliable:
@@ -53,5 +55,11 @@ def apply_fault_plan(network, plan: FaultPlan) -> FaultInjector:
             timeout=plan.retransmit_timeout,
             backoff=plan.retransmit_backoff,
             max_retries=plan.max_retransmits,
+            jitter=plan.retransmit_jitter,
+            max_delay=plan.retransmit_max_delay,
+            # Seeded independently of both the simulation RNG and the
+            # injector's fault RNG, so enabling jitter perturbs only
+            # the retransmit timers.
+            rng=random.Random(f"rel.jitter:{plan.seed}"),
         )
     return injector

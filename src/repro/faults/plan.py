@@ -14,7 +14,7 @@ FaultInjector` executes it against a :class:`~repro.net.Network`.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.errors import ConfigurationError
@@ -22,6 +22,18 @@ from repro.errors import ConfigurationError
 
 def _window_contains(start: float, end: Optional[float], now: float) -> bool:
     return now >= start and (end is None or now < end)
+
+
+def _require_number(
+    owner: str, name: str, value, allow_none: bool = False
+) -> None:
+    """Reject malformed (non-numeric) fields with a clear error."""
+    if value is None and allow_none:
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"{owner}.{name} must be a number, got {value!r}"
+        )
 
 
 @dataclass(frozen=True)
@@ -48,6 +60,9 @@ class LinkFault:
     end: Optional[float] = None
 
     def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "extra_delay", "start"):
+            _require_number("LinkFault", name, getattr(self, name))
+        _require_number("LinkFault", "end", self.end, allow_none=True)
         for name in ("drop", "duplicate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -56,8 +71,13 @@ class LinkFault:
                 )
         if self.extra_delay < 0:
             raise ConfigurationError("extra_delay must be nonnegative")
+        if self.start < 0:
+            raise ConfigurationError("LinkFault.start must be nonnegative")
         if self.end is not None and self.end <= self.start:
-            raise ConfigurationError("LinkFault window must end after start")
+            raise ConfigurationError(
+                f"LinkFault window is inverted or empty: "
+                f"start={self.start} end={self.end}"
+            )
 
     def applies(self, src: str, dst: str, now: float) -> bool:
         """Whether this fault covers a ``src -> dst`` message at ``now``."""
@@ -83,16 +103,28 @@ class Partition:
     end: Optional[float] = None
 
     def __post_init__(self) -> None:
+        _require_number("Partition", "start", self.start)
+        _require_number("Partition", "end", self.end, allow_none=True)
         seen: set = set()
         for group in self.groups:
             for mss_id in group:
+                if not isinstance(mss_id, str):
+                    raise ConfigurationError(
+                        f"Partition groups must contain MSS id strings, "
+                        f"got {mss_id!r}"
+                    )
                 if mss_id in seen:
                     raise ConfigurationError(
                         f"{mss_id} appears in two partition groups"
                     )
                 seen.add(mss_id)
+        if self.start < 0:
+            raise ConfigurationError("Partition.start must be nonnegative")
         if self.end is not None and self.end <= self.start:
-            raise ConfigurationError("Partition window must end after start")
+            raise ConfigurationError(
+                f"Partition window is inverted or empty: "
+                f"start={self.start} end={self.end}"
+            )
 
     def severs(self, src: str, dst: str, now: float) -> bool:
         """Whether the partition blocks ``src -> dst`` at ``now``."""
@@ -121,10 +153,16 @@ class MssCrash:
     recover_at: Optional[float] = None
 
     def __post_init__(self) -> None:
+        _require_number("MssCrash", "at", self.at)
+        _require_number("MssCrash", "recover_at", self.recover_at,
+                        allow_none=True)
         if self.at < 0:
             raise ConfigurationError("crash time must be nonnegative")
         if self.recover_at is not None and self.recover_at <= self.at:
-            raise ConfigurationError("recover_at must be after the crash")
+            raise ConfigurationError(
+                f"MssCrash window is inverted or empty: at={self.at} "
+                f"recover_at={self.recover_at}"
+            )
 
 
 @dataclass(frozen=True)
@@ -147,10 +185,20 @@ class MhCrash:
     amnesia: bool = False
 
     def __post_init__(self) -> None:
+        _require_number("MhCrash", "at", self.at)
+        _require_number("MhCrash", "recover_at", self.recover_at,
+                        allow_none=True)
+        if not isinstance(self.amnesia, bool):
+            raise ConfigurationError(
+                f"MhCrash.amnesia must be a boolean, got {self.amnesia!r}"
+            )
         if self.at < 0:
             raise ConfigurationError("crash time must be nonnegative")
         if self.recover_at is not None and self.recover_at <= self.at:
-            raise ConfigurationError("recover_at must be after the crash")
+            raise ConfigurationError(
+                f"MhCrash window is inverted or empty: at={self.at} "
+                f"recover_at={self.recover_at}"
+            )
 
 
 def _check_no_overlap(events: Iterable, label: str, key: str) -> None:
@@ -167,6 +215,70 @@ def _check_no_overlap(events: Iterable, label: str, key: str) -> None:
                 raise ConfigurationError(
                     f"overlapping {label} crash windows for {host_id}"
                 )
+
+
+def _entry_list(data: Dict[str, object], key: str) -> list:
+    """The plan's ``key`` list, validated to actually be a list."""
+    value = data.get(key, ())
+    if isinstance(value, (str, bytes, dict)) or not hasattr(
+        value, "__iter__"
+    ):
+        raise ConfigurationError(
+            f"fault plan key {key!r} must be a list of objects, got "
+            f"{type(value).__name__}"
+        )
+    return list(value)
+
+
+def _build_entry(cls, entry, label: str, index: int):
+    """Construct one nested fault dataclass with located errors."""
+    if not isinstance(entry, dict):
+        raise ConfigurationError(
+            f"{label}[{index}] must be an object, got "
+            f"{type(entry).__name__}"
+        )
+    known = {f.name for f in fields(cls)}
+    unknown = set(entry) - known
+    if unknown:
+        raise ConfigurationError(
+            f"{label}[{index}] has unknown keys {sorted(unknown)}; "
+            f"known keys: {sorted(known)}"
+        )
+    try:
+        return cls(**entry)
+    except TypeError as exc:
+        raise ConfigurationError(f"{label}[{index}]: {exc}") from None
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"{label}[{index}]: {exc}") from None
+
+
+def _build_partition(entry, index: int) -> Partition:
+    if not isinstance(entry, dict):
+        raise ConfigurationError(
+            f"partitions[{index}] must be an object, got "
+            f"{type(entry).__name__}"
+        )
+    unknown = set(entry) - {"groups", "start", "end"}
+    if unknown:
+        raise ConfigurationError(
+            f"partitions[{index}] has unknown keys {sorted(unknown)}; "
+            f"known keys: ['end', 'groups', 'start']"
+        )
+    groups = entry.get("groups", ())
+    if isinstance(groups, (str, bytes)) or not hasattr(groups, "__iter__"):
+        raise ConfigurationError(
+            f"partitions[{index}].groups must be a list of lists"
+        )
+    try:
+        return Partition(
+            groups=tuple(tuple(group) for group in groups),
+            start=entry.get("start", 0.0),
+            end=entry.get("end"),
+        )
+    except ConfigurationError as exc:
+        raise ConfigurationError(
+            f"partitions[{index}]: {exc}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -190,6 +302,15 @@ class FaultPlan:
         retransmit_timeout: reliable channel's initial retransmit timer.
         retransmit_backoff: exponential backoff factor per retry.
         max_retransmits: retry cap before the channel gives a message up.
+        retransmit_jitter: fraction of each retransmit delay randomized
+            (``0.2`` spreads every timer uniformly over ±20%), drawn
+            from an RNG derived from ``seed``.  Desynchronizes the
+            retransmit storm after a partition heals; ``0.0`` (the
+            default) keeps the channel byte-identical to earlier
+            releases.
+        retransmit_max_delay: cap on the exponential backoff delay, so
+            long outages do not push retry timers out to minutes.
+            ``None`` (the default) leaves the backoff uncapped.
     """
 
     link_faults: Tuple[LinkFault, ...] = ()
@@ -202,10 +323,17 @@ class FaultPlan:
     retransmit_timeout: float = 4.0
     retransmit_backoff: float = 1.5
     max_retransmits: int = 10
+    retransmit_jitter: float = 0.0
+    retransmit_max_delay: Optional[float] = None
 
     def __post_init__(self) -> None:
         _check_no_overlap(self.crashes, "MSS", "mss_id")
         _check_no_overlap(self.mh_crashes, "MH", "mh_id")
+        for name in ("rejoin_delay", "retransmit_timeout",
+                     "retransmit_backoff", "retransmit_jitter"):
+            _require_number("FaultPlan", name, getattr(self, name))
+        _require_number("FaultPlan", "retransmit_max_delay",
+                        self.retransmit_max_delay, allow_none=True)
         if self.rejoin_delay <= 0:
             raise ConfigurationError("rejoin_delay must be positive")
         if self.retransmit_timeout <= 0:
@@ -214,6 +342,16 @@ class FaultPlan:
             raise ConfigurationError("retransmit_backoff must be >= 1")
         if self.max_retransmits < 0:
             raise ConfigurationError("max_retransmits must be nonnegative")
+        if not 0.0 <= self.retransmit_jitter < 1.0:
+            raise ConfigurationError(
+                "retransmit_jitter must be in [0, 1), got "
+                f"{self.retransmit_jitter}"
+            )
+        if (self.retransmit_max_delay is not None
+                and self.retransmit_max_delay < self.retransmit_timeout):
+            raise ConfigurationError(
+                "retransmit_max_delay cannot be below retransmit_timeout"
+            )
 
     # ------------------------------------------------------------------
     # Serialization (CLI --fault-plan, experiment configs)
@@ -225,35 +363,40 @@ class FaultPlan:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
-        """Build a plan from a plain dict (parsed JSON)."""
-        known = {
-            "link_faults", "partitions", "crashes", "mh_crashes", "seed",
-            "reliable", "rejoin_delay", "retransmit_timeout",
-            "retransmit_backoff", "max_retransmits",
-        }
+        """Build a plan from a plain dict (parsed JSON).
+
+        Raises :class:`~repro.errors.ConfigurationError` naming the
+        offending entry on unknown keys, malformed values, or inverted
+        time windows -- anywhere in the plan, including inside the
+        nested fault lists.
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"fault plan must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
             raise ConfigurationError(
-                f"unknown fault plan keys: {sorted(unknown)}"
+                f"unknown fault plan keys: {sorted(unknown)}; "
+                f"known keys: {sorted(known)}"
             )
         link_faults = tuple(
-            LinkFault(**fault) for fault in data.get("link_faults", ())
+            _build_entry(LinkFault, entry, "link_faults", i)
+            for i, entry in enumerate(_entry_list(data, "link_faults"))
         )
         partitions = tuple(
-            Partition(
-                groups=tuple(
-                    tuple(group) for group in part.get("groups", ())
-                ),
-                start=part.get("start", 0.0),
-                end=part.get("end"),
-            )
-            for part in data.get("partitions", ())
+            _build_partition(entry, i)
+            for i, entry in enumerate(_entry_list(data, "partitions"))
         )
         crashes = tuple(
-            MssCrash(**crash) for crash in data.get("crashes", ())
+            _build_entry(MssCrash, entry, "crashes", i)
+            for i, entry in enumerate(_entry_list(data, "crashes"))
         )
         mh_crashes = tuple(
-            MhCrash(**crash) for crash in data.get("mh_crashes", ())
+            _build_entry(MhCrash, entry, "mh_crashes", i)
+            for i, entry in enumerate(_entry_list(data, "mh_crashes"))
         )
         scalars = {
             key: data[key]

@@ -52,6 +52,11 @@ class MobilityModel:
         for process in self._processes:
             process.stop()
 
+    def set_rate(self, move_rate: float) -> None:
+        """Change the per-MH move rate (rush hours, quiet nights)."""
+        for process in self._processes:
+            process.set_rate(move_rate)
+
     def choose_destination(self, mh_id: str, current: str) -> Optional[str]:
         """Destination cell for the next move (``None`` = stay put)."""
         raise NotImplementedError

@@ -206,7 +206,8 @@ class Network:
 
         Keyword arguments are forwarded to
         :class:`~repro.net.reliable.ReliableTransport` (``timeout``,
-        ``backoff``, ``max_retries``).
+        ``backoff``, ``max_retries``, ``jitter``, ``max_delay``,
+        ``rng``).
         """
         from repro.net.reliable import ReliableTransport
 

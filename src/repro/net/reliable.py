@@ -26,6 +26,7 @@ accounted in the metrics under the wrapped message's scope, which is how
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
@@ -84,6 +85,19 @@ class ReliableTransport:
         timeout: initial retransmit timer (should exceed one round trip).
         backoff: multiplicative backoff factor applied per retry.
         max_retries: retransmissions allowed before giving a message up.
+        jitter: fraction of every retransmit delay randomized -- each
+            timer is scaled by a uniform draw from ``[1-jitter,
+            1+jitter]``.  Without it, messages stranded by one
+            partition all back off in lockstep and retransmit as a
+            synchronized storm the instant the partition heals; jitter
+            spreads that burst out.  ``0.0`` (the default) draws
+            nothing from the RNG, keeping runs byte-identical to the
+            un-jittered channel.
+        max_delay: cap applied to the backed-off delay before jitter,
+            so retry timers stay bounded through long outages.
+            ``None`` leaves the exponential schedule uncapped.
+        rng: randomness source for jitter draws (seeded by the caller
+            for reproducibility; only consulted when ``jitter > 0``).
     """
 
     def __init__(
@@ -92,15 +106,27 @@ class ReliableTransport:
         timeout: float = 4.0,
         backoff: float = 1.5,
         max_retries: int = 10,
+        jitter: float = 0.0,
+        max_delay: Optional[float] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if timeout <= 0:
             raise SimulationError("retransmit timeout must be positive")
         if backoff < 1.0:
             raise SimulationError("backoff factor must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise SimulationError("jitter must be in [0, 1)")
+        if max_delay is not None and max_delay < timeout:
+            raise SimulationError(
+                "max_delay cannot be below the initial timeout"
+            )
         self.network = network
         self.timeout = timeout
         self.backoff = backoff
         self.max_retries = max_retries
+        self.jitter = jitter
+        self.max_delay = max_delay
+        self._rng = rng if rng is not None else random.Random(0)
         self.retransmits = 0
         self.duplicates_suppressed = 0
         self.gave_up = 0
@@ -184,12 +210,21 @@ class ReliableTransport:
             payload=RelData(seq=seq, floor=floor, inner=inner),
             scope=inner.scope,
         )
-        delay = self.timeout * (self.backoff ** attempt)
+        delay = self.retransmit_delay(attempt)
         timer = self.network.scheduler.schedule(
             delay, self._on_timeout, channel, seq
         )
         tx.unacked[seq] = (envelope, timer, attempt)
         self.network._send_fixed_raw(envelope)
+
+    def retransmit_delay(self, attempt: int) -> float:
+        """The (capped, jittered) retransmit timer for ``attempt``."""
+        delay = self.timeout * (self.backoff ** attempt)
+        if self.max_delay is not None and delay > self.max_delay:
+            delay = self.max_delay
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return delay
 
     def _on_timeout(self, channel: Tuple[str, str], seq: int) -> None:
         tx = self._tx.get(channel)

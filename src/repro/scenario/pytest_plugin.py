@@ -1,0 +1,36 @@
+"""Pytest integration: every pack scenario is a parametrized test.
+
+Load it from a ``conftest.py``::
+
+    pytest_plugins = ["repro.scenario.pytest_plugin"]
+
+Any test that takes the ``scenario_spec`` fixture is parametrized over
+the whole built-in pack (one test id per scenario name); the
+``scenario_seed`` fixture resolves the run seed, honouring the same
+``REPRO_CHAOS_SEED`` environment variable the chaos suites use so CI
+seed sweeps cover the pack too.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.scenario.registry import builtin_registry
+
+__all__ = ["scenario_seed"]
+
+
+def pytest_generate_tests(metafunc) -> None:
+    if "scenario_spec" in metafunc.fixturenames:
+        specs = builtin_registry().specs()
+        metafunc.parametrize(
+            "scenario_spec", specs, ids=[spec.name for spec in specs]
+        )
+
+
+@pytest.fixture
+def scenario_seed() -> int:
+    """Seed for scenario runs; ``REPRO_CHAOS_SEED`` overrides."""
+    return int(os.environ.get("REPRO_CHAOS_SEED", "7"))

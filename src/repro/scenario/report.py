@@ -1,0 +1,107 @@
+"""Structured per-run scenario reports.
+
+:func:`build_report` turns one finished run into a plain JSON-ready
+dict: what ran, what it cost in the paper's currency, which faults bit,
+what the workload achieved, and what the invariant monitors concluded.
+:func:`render_summary` formats a batch of results as the table the CLI
+prints.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.monitor import HealthMonitor
+from repro.scenario.spec import SCHEMA_VERSION, ScenarioSpec
+
+__all__ = ["build_report", "render_summary"]
+
+
+def build_report(
+    spec: ScenarioSpec,
+    seed: int,
+    sim,
+    workload_stats: Dict[str, Any],
+    wall_time_s: float,
+) -> Dict[str, Any]:
+    """One run's structured report as a JSON-serializable dict."""
+    metrics = sim.metrics.report(sim.cost_model)
+    hub = sim.monitor_hub
+    violations: List[Dict[str, Any]] = []
+    monitor_count = 0
+    if hub is not None:
+        monitor_count = len(hub.monitors)
+        violations = [
+            {
+                "monitor": v.monitor,
+                "invariant": v.invariant,
+                "time": v.time,
+                "message": v.message,
+            }
+            for v in hub.violations
+        ]
+    last_health: Optional[Dict[str, Any]] = None
+    if hub is not None:
+        for monitor in hub.monitors:
+            if isinstance(monitor, HealthMonitor) and monitor.samples:
+                last_health = dict(monitor.samples[-1])
+    report: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": spec.name,
+        "title": spec.title,
+        "tags": list(spec.tags),
+        "seed": seed,
+        "topology": {
+            "n_mss": spec.n_mss,
+            "n_mh": spec.n_mh,
+            "placement": spec.placement,
+            "search": spec.search,
+        },
+        "duration": spec.duration,
+        "final_time": sim.now,
+        "wall_time_s": round(wall_time_s, 3),
+        "messages": metrics["totals"],
+        "cost": {
+            "total": metrics.get("cost_total", 0.0),
+            "by_scope": metrics.get("cost_by_scope", {}),
+        },
+        "energy_total": metrics["energy_total"],
+        "faults": metrics.get("faults", {}),
+        "recovery": metrics.get("recovery"),
+        "workload": workload_stats,
+        "monitors": {
+            "count": monitor_count,
+            "ok": not violations,
+            "violations": violations,
+        },
+    }
+    if last_health is not None:
+        report["health"] = last_health
+    return report
+
+
+def render_summary(results) -> List[str]:
+    """Lines of the summary table for a batch of ScenarioResults."""
+    lines = [
+        f"{'scenario':<28}{'seed':>6}{'events':>9}{'cost':>10}"
+        f"{'faults':>8}  status"
+    ]
+    for result in results:
+        report = result.report
+        n_faults = sum(report["faults"].values())
+        n_violations = len(report["monitors"]["violations"])
+        if result.ok:
+            status = "ok"
+        elif n_violations:
+            status = f"{n_violations} VIOLATION(S)"
+        else:
+            status = "; ".join(result.failures)
+        lines.append(
+            f"{report['scenario']:<28}{report['seed']:>6}"
+            f"{result.events:>9}{report['cost']['total']:>10.0f}"
+            f"{n_faults:>8}  {status}"
+        )
+        if not result.ok:
+            for failure in result.failures:
+                lines.append(f"    - {failure}")
+    return lines

@@ -89,6 +89,22 @@ class PoissonProcess:
             self._next_delay(), self._fire
         )
 
+    @property
+    def rate(self) -> float:
+        """The current expected firings per unit of simulated time."""
+        return self._rate
+
+    def set_rate(self, rate: float) -> None:
+        """Change the arrival rate; takes effect from the next firing.
+
+        The interarrival draw already pending keeps its old delay
+        (there is no thinning/rescheduling), which is exactly the
+        behaviour a piecewise-constant rate curve wants.
+        """
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive: {rate}")
+        self._rate = rate
+
     def _next_delay(self) -> float:
         return self._rng.expovariate(self._rate)
 

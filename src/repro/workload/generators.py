@@ -70,6 +70,21 @@ class MutexWorkload:
         for process in self._processes:
             process.stop()
 
+    def set_rate(self, request_rate: float) -> None:
+        """Change the per-MH request rate (diurnal load curves)."""
+        for process in self._processes:
+            process.set_rate(request_rate)
+
+    def request_now(self, mh_id: str) -> None:
+        """Issue one request immediately, outside the Poisson arrivals.
+
+        Honours the same single-outstanding-request discipline as the
+        random arrivals (a duplicate or detached request is dropped and
+        counted), so scheduled scenario events and background traffic
+        compose safely.
+        """
+        self._try_request(mh_id)
+
     def _try_request(self, mh_id: str) -> None:
         mh = self.network.mobile_host(mh_id)
         if mh_id in self._outstanding or not mh.is_connected:
@@ -121,6 +136,10 @@ class GroupMessagingWorkload:
     def stop(self) -> None:
         """Stop sending new group messages."""
         self._process.stop()
+
+    def set_rate(self, message_rate: float) -> None:
+        """Change the group message rate (diurnal load curves)."""
+        self._process.set_rate(message_rate)
 
     def _try_send(self) -> None:
         sender = self._choose()

@@ -7,6 +7,10 @@ import pytest
 from repro import CostModel, CriticalResource, NetworkConfig, Simulation
 from repro.net import ConstantLatency
 
+# Exposes the declarative scenario pack as parametrized fixtures
+# (``scenario_spec`` / ``scenario_seed``) -- see tests/test_scenario_pack.py.
+pytest_plugins = ["repro.scenario.pytest_plugin"]
+
 
 def make_sim(
     n_mss: int = 4,

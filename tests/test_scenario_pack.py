@@ -1,0 +1,90 @@
+"""Certification of the shipped scenario pack.
+
+Every scenario in ``repro/scenario/pack`` runs under the full invariant
+monitor suite (via the ``scenario_spec`` pytest plugin fixture) and
+must finish with zero violations and every declared expectation met.
+The base seed honours ``REPRO_CHAOS_SEED`` so the CI chaos matrix
+sweeps the pack across seeds.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.scenario import (
+    SCHEMA_VERSION,
+    builtin_registry,
+    load_spec,
+    run_scenario,
+)
+
+
+def test_pack_is_a_real_pack():
+    """The shipped pack meets the platform's own floor: 20+ scenarios,
+    a chaos core, and every advertised adversity family covered."""
+    registry = builtin_registry()
+    assert len(registry) >= 20
+    assert len(registry.names("chaos")) >= 15
+    tags = registry.tags()
+    for family in ("chaos", "crash", "partition", "disconnect",
+                   "adversarial", "loss", "mobility"):
+        assert family in tags, f"no scenario covers {family!r}"
+
+
+def test_pack_specs_round_trip():
+    """to_dict -> load_spec is the identity on every shipped spec."""
+    for spec in builtin_registry().specs():
+        clone = load_spec(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec, spec.name
+
+
+def test_pack_names_match_filenames():
+    import glob
+    import os
+
+    from repro.scenario import pack_dir
+
+    for path in glob.glob(os.path.join(pack_dir(), "*.json")):
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        stem = os.path.splitext(os.path.basename(path))[0]
+        assert data["name"] == stem, path
+
+
+def test_scenario_certifies(scenario_spec, scenario_seed):
+    """THE certification gate: zero invariant violations, every
+    expectation met, for every scenario at the sweep seed."""
+    result = run_scenario(scenario_spec, seed=scenario_seed)
+    report = result.report
+    assert report["monitors"]["violations"] == [], report
+    assert result.failures == [], result.failures
+    assert result.ok
+    # The report is structured, complete and serializable.
+    assert report["schema_version"] == SCHEMA_VERSION
+    assert report["scenario"] == scenario_spec.name
+    assert report["seed"] == scenario_seed
+    assert report["monitors"]["count"] == 12
+    assert report["final_time"] >= scenario_spec.duration
+    assert set(report["messages"]) >= {"fixed", "wireless", "search"}
+    json.dumps(report)
+
+
+def test_adversarial_scenario_actually_lies():
+    """The adversarial scenario wires real malicious MHs into R2''."""
+    spec = builtin_registry().get("adversarial_r2pp")
+    assert spec.workload["malicious_mhs"] == [0, 2]
+    result = run_scenario(spec, seed=7)
+    assert result.ok
+    # The token-list variant defends: lying never buys a violation.
+    assert result.report["monitors"]["ok"]
+
+
+def test_diurnal_scenario_moves_the_rates():
+    """The rush hour genuinely changes arrival rates mid-run: the rush
+    window completes far more requests than the quiet one."""
+    spec = builtin_registry().get("diurnal_load")
+    result = run_scenario(spec, seed=7)
+    assert result.ok
+    # 0.02 -> 0.12 -> 0.01 per MH: with 8 MHs over the windows the
+    # total must clearly exceed the no-rush expectation.
+    assert result.report["workload"]["completed"] >= 20
