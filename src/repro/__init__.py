@@ -34,6 +34,7 @@ from repro.errors import (
     InvariantViolationError,
     MutualExclusionViolation,
     NotConnectedError,
+    PerfGateError,
     ProtocolError,
     ReproError,
     SimulationError,
@@ -132,6 +133,7 @@ __all__ = [
     "Network",
     "NetworkConfig",
     "NotConnectedError",
+    "PerfGateError",
     "ProtocolError",
     "Violation",
     "R1Mutex",

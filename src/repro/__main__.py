@@ -1,4 +1,7 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+Console front end for the ICDCS 1994 reproduction (see docs/cli.md).
+"""
 
 import sys
 

@@ -6,6 +6,7 @@ experiment function across a parameter grid and several seeds and
 aggregates each cell into a :class:`Summary` (mean, standard
 deviation, min, max), so "who wins" claims can be asserted on means
 with dispersion in view.
+Backs the measured side of the paper's evaluation comparisons.
 """
 
 from __future__ import annotations

@@ -242,6 +242,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the pack (names, tags, titles) and exit",
     )
 
+    scale = sub.add_parser(
+        "scale",
+        help="drive an array-backed population at large N "
+             "(see docs/scaling.md)",
+    )
+    scale.add_argument("--n-mss", type=int, default=16,
+                       help="number of support stations (M)")
+    scale.add_argument("--n-mh", type=int, default=10_000,
+                       help="population size N (array-backed)")
+    scale.add_argument("--seed", type=int, default=0)
+    scale.add_argument("--duration", type=float, default=200.0,
+                       help="simulated time to run")
+    scale.add_argument("--tick", type=float, default=10.0,
+                       help="sim-time between crowd churn waves")
+    scale.add_argument("--move-fraction", type=float, default=0.01,
+                       help="fraction of the passive crowd moved per "
+                            "tick")
+    scale.add_argument("--disconnect-fraction", type=float,
+                       default=0.002)
+    scale.add_argument("--reconnect-fraction", type=float, default=0.5)
+    scale.add_argument("--n-active", type=int, default=8,
+                       help="promoted hosts running real L2 mutex "
+                            "traffic")
+    scale.add_argument("--max-active", type=int, default=None,
+                       help="soft cap on promoted hosts "
+                            "(default 1024)")
+
     perf = sub.add_parser(
         "perf",
         help="measure events/sec on the curated perf scenarios",
@@ -872,8 +899,79 @@ def _run_scenarios(args, emit) -> int:
     return 0
 
 
+def _run_scale(args, emit) -> int:
+    from repro.scale import CrowdChurn
+
+    sim = Simulation(
+        n_mss=args.n_mss,
+        n_mh=args.n_mh,
+        seed=args.seed,
+        population_store=True,
+        max_active=args.max_active,
+    )
+    churn = CrowdChurn(
+        sim.population,
+        sim.scheduler,
+        tick=args.tick,
+        move_fraction=args.move_fraction,
+        disconnect_fraction=args.disconnect_fraction,
+        reconnect_fraction=args.reconnect_fraction,
+        rng=random.Random(args.seed + 31),
+    )
+    churn.start()
+    resource = CriticalResource(sim.scheduler)
+    workload = None
+    if args.n_active > 0:
+        mutex = L2Mutex(sim.network, resource, cs_duration=0.3)
+        active_ids = [sim.mh_id(i)
+                      for i in range(min(args.n_active, args.n_mh))]
+        workload = MutexWorkload(sim.network, mutex, active_ids,
+                                 request_rate=0.05,
+                                 rng=random.Random(args.seed + 37))
+    sim.run(until=args.duration)
+    churn.stop()
+    if workload is not None:
+        workload.stop()
+    sim.drain()
+    resource.assert_no_overlap()
+
+    summary = sim.population.summary()
+    emit(f"population     : {summary['population']} MHs in "
+         f"{args.n_mss} cells")
+    emit(f"array state    : {summary['array_bytes'] / 1024:.0f} KiB "
+         f"({summary['array_bytes'] / max(1, args.n_mh):.0f} B/MH)")
+    emit(f"passive        : {summary['passive_connected']} connected, "
+         f"{summary['passive_disconnected']} disconnected")
+    emit(f"active set     : {summary['active']} promoted "
+         f"(cap {summary['max_active']}; "
+         f"{summary['promotions']} promotions, "
+         f"{summary['demotions']} demotions)")
+    emit(f"churn          : {churn.ticks} waves -- "
+         f"{churn.moved} moves, {churn.disconnected} disconnects, "
+         f"{churn.reconnected} reconnects "
+         f"({summary['batch_ops']} batched ops)")
+    mi = summary["move_interval"]
+    if mi["count"]:
+        emit(f"move interval  : mean {mi['mean']:.1f} "
+             f"(stddev {mi['stddev']:.1f}, n={mi['count']})")
+    dt = summary["downtime"]
+    if dt["count"]:
+        emit(f"downtime       : mean {dt['mean']:.1f} "
+             f"(stddev {dt['stddev']:.1f}, n={dt['count']})")
+    emit(f"events         : {sim.scheduler.events_processed}")
+    try:
+        import resource as _resource
+
+        peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+        emit(f"peak RSS       : {peak // 1024} MiB")
+    except ImportError:  # pragma: no cover - non-unix
+        pass
+    _print_report(sim, emit)
+    return 0
+
+
 def _run_perf(args, emit) -> int:
-    from repro.errors import ConfigurationError
+    from repro.errors import ConfigurationError, PerfGateError
     from repro.perf import SCENARIOS, run_scenario, scenario_names
 
     if args.list_scenarios:
@@ -888,9 +986,15 @@ def _run_perf(args, emit) -> int:
             result = run_scenario(name, repeats=args.repeats)
         except ConfigurationError as exc:
             raise SystemExit(f"perf: {exc}") from exc
+        except PerfGateError as exc:
+            emit(f"perf: GATE FAILED: {exc}")
+            return 1
+        gates = ""
+        if result.rss_growth_kb is not None:
+            gates = f"  rss+{result.rss_growth_kb}KiB"
         emit(f"{name:<18} {result.events:>9} events  "
              f"{result.wall_time_s:>8.3f}s  "
-             f"{result.events_per_sec:>10.0f} ev/s")
+             f"{result.events_per_sec:>10.0f} ev/s{gates}")
     return 0
 
 
@@ -913,6 +1017,8 @@ def main(argv: Optional[List[str]] = None, emit=print) -> int:
         return _run_monitor(args, emit)
     if args.command == "scenarios":
         return _run_scenarios(args, emit)
+    if args.command == "scale":
+        return _run_scale(args, emit)
     if args.command == "perf":
         return _run_perf(args, emit)
     raise SystemExit(f"unknown command {args.command!r}")

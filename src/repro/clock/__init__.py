@@ -1,4 +1,7 @@
-"""Logical clocks (substrate S8)."""
+"""Logical clocks (substrate S8).
+
+Backs the Lamport substrate of the paper's Section 3 mutex algorithms.
+"""
 
 from repro.clock.lamport import LamportClock, Timestamp
 

@@ -4,6 +4,7 @@ All library-raised exceptions derive from :class:`ReproError` so that
 callers can catch everything coming out of the simulator with one clause
 while still distinguishing configuration mistakes from invariant
 violations detected at run time.
+The hierarchy spans every layer of the paper reproduction (Sections 2-5).
 """
 
 from __future__ import annotations
@@ -43,3 +44,8 @@ class ProtocolError(SimulationError):
 
 class InvariantViolationError(SimulationError):
     """An online invariant monitor observed at least one violation."""
+
+
+class PerfGateError(ReproError):
+    """A perf scenario exceeded one of its resource gates (RSS growth
+    or retained allocations) -- see :mod:`repro.perf.harness`."""

@@ -13,12 +13,13 @@ Example::
     sim.mh(0).move_to(sim.mss_id(3))
     sim.run(until=100.0)
     print(sim.metrics.report(sim.cost_model))
+One constructor builds the paper's whole Section 2 system model.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
 from repro.faults import FaultPlan, apply_fault_plan
@@ -47,26 +48,40 @@ _SEARCH_FACTORIES: Dict[str, Callable[[], SearchProtocol]] = {
 }
 
 
-def _resolve_placement(
+def _iter_placement(
     placement: Placement, n_mh: int, n_mss: int, rng: random.Random
-) -> List[int]:
-    """Index of the initial cell for each MH."""
+) -> Iterator[int]:
+    """Initial cell indices, one per MH, as a lazy stream.
+
+    The generator form lets the population store fill its arrays
+    without an intermediate N-element python list (at N=1M that list
+    alone would rival the arrays' whole footprint).  Draw order for
+    ``"random"`` is identical to the eager path, so a given seed
+    places MHs the same way with and without the store.
+    """
     if callable(placement):
-        return [placement(i, n_mss) % n_mss for i in range(n_mh)]
+        return (placement(i, n_mss) % n_mss for i in range(n_mh))
     if isinstance(placement, str):
         if placement == "round_robin":
-            return [i % n_mss for i in range(n_mh)]
+            return (i % n_mss for i in range(n_mh))
         if placement == "single_cell":
-            return [0] * n_mh
+            return (0 for _ in range(n_mh))
         if placement == "random":
-            return [rng.randrange(n_mss) for _ in range(n_mh)]
+            return (rng.randrange(n_mss) for _ in range(n_mh))
         raise ConfigurationError(f"unknown placement: {placement!r}")
     cells = list(placement)
     if len(cells) != n_mh:
         raise ConfigurationError(
             f"placement lists {len(cells)} cells for {n_mh} MHs"
         )
-    return [cell % n_mss for cell in cells]
+    return (cell % n_mss for cell in cells)
+
+
+def _resolve_placement(
+    placement: Placement, n_mh: int, n_mss: int, rng: random.Random
+) -> List[int]:
+    """Index of the initial cell for each MH."""
+    return list(_iter_placement(placement, n_mh, n_mss, rng))
 
 
 class Simulation:
@@ -102,6 +117,14 @@ class Simulation:
             :class:`~repro.trace.TraceEvent`.  Purely observational:
             costs, message counts and randomness are identical either
             way.
+        population_store: when ``True``, back the N MHs by the
+            array-based :class:`~repro.scale.PopulationStore` instead
+            of N python objects.  Hosts are transparently promoted to
+            objects on first touch; with the abstract search protocol,
+            small-N runs are byte-identical to the object path.  See
+            ``docs/scaling.md``.
+        max_active: soft cap on simultaneously promoted hosts (only
+            with ``population_store=True``; default 1024).
     """
 
     def __init__(
@@ -118,6 +141,8 @@ class Simulation:
         trace: bool = False,
         monitors: Union[None, bool, str, Sequence] = None,
         recovery: Union[None, str, object] = None,
+        population_store: bool = False,
+        max_active: Optional[int] = None,
     ) -> None:
         if n_mss < 1:
             raise ConfigurationError("need at least one MSS")
@@ -181,12 +206,31 @@ class Simulation:
             self.network.register_mss(mss)
             self._mss.append(mss)
         self._mh: List[MobileHost] = []
-        cells = _resolve_placement(placement, n_mh, n_mss, self.rng)
-        for i in range(n_mh):
-            mh = MobileHost(f"mh-{i}", self.network)
-            self.network.register_mh(mh)
-            mh.attach_initial(f"mss-{cells[i]}")
-            self._mh.append(mh)
+        #: the array-backed crowd store, or ``None`` on the object path.
+        self.population = None
+        if population_store:
+            from repro.scale import PopulationStore
+
+            self.population = PopulationStore(
+                self.network,
+                n_mh,
+                placement=_iter_placement(
+                    placement, n_mh, n_mss, self.rng
+                ),
+                max_active=max_active if max_active is not None else 1024,
+            )
+            self.network.install_population(self.population)
+        else:
+            if max_active is not None:
+                raise ConfigurationError(
+                    "max_active requires population_store=True"
+                )
+            cells = _resolve_placement(placement, n_mh, n_mss, self.rng)
+            for i in range(n_mh):
+                mh = MobileHost(f"mh-{i}", self.network)
+                self.network.register_mh(mh)
+                mh.attach_initial(f"mss-{cells[i]}")
+                self._mh.append(mh)
         self.fault_injector = (
             apply_fault_plan(self.network, fault_plan)
             if fault_plan is not None
@@ -194,6 +238,15 @@ class Simulation:
         )
         #: the recovery manager, or ``None`` when ``recovery=`` is off.
         self.recovery = None
+        if recovery is not None and population_store:
+            # The manager registers a restore handler on every covered
+            # MH, which would promote (and pin) the entire crowd.
+            # Construct RecoveryManager(network, mh_ids=[...]) over the
+            # active subset instead (docs/scaling.md).
+            raise ConfigurationError(
+                "recovery= is incompatible with population_store=True; "
+                "build a RecoveryManager over an explicit mh_ids subset"
+            )
         if recovery is not None:
             from repro.recovery import RecoveryManager, policy_from_spec
 
@@ -210,7 +263,14 @@ class Simulation:
         return self._mss[index]
 
     def mh(self, index: int) -> MobileHost:
-        """The i-th mobile host."""
+        """The i-th mobile host.
+
+        With the population store enabled this promotes a passive host
+        to a full object -- use :meth:`mh_id` when only the id is
+        needed.
+        """
+        if self.population is not None:
+            return self.network.mobile_host(self.mh_id(index))
         return self._mh[index]
 
     def mss_id(self, index: int) -> str:
@@ -219,6 +279,10 @@ class Simulation:
 
     def mh_id(self, index: int) -> str:
         """Id of the i-th mobile host."""
+        if self.population is not None:
+            if not 0 <= index < self.n_mh:
+                raise IndexError(index)
+            return f"mh-{index}"
         return self._mh[index].host_id
 
     @property
@@ -228,7 +292,9 @@ class Simulation:
 
     @property
     def mh_ids(self) -> List[str]:
-        """Ids of all mobile hosts, in order."""
+        """Ids of all mobile hosts, in order (O(N) with the store)."""
+        if self.population is not None:
+            return self.population.all_ids()
         return [mh.host_id for mh in self._mh]
 
     @property

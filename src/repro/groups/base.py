@@ -1,4 +1,7 @@
-"""Shared machinery for the three group location strategies."""
+"""Shared machinery for the three group location strategies.
+
+Common to the paper's Section 4 group location management strategies.
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,7 @@
-"""Base class shared by mobile hosts and support stations."""
+"""Base class shared by mobile hosts and support stations.
+
+Both host roles of the paper's Section 2 model build on it.
+"""
 
 from __future__ import annotations
 

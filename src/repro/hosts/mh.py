@@ -1,4 +1,7 @@
-"""The mobile host: lifecycle, doze mode, wireless sending helpers."""
+"""The mobile host: lifecycle, doze mode, wireless sending helpers.
+
+The MH side of the paper's Section 2 mobility protocol.
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,7 @@
-"""The mobile support station: cell management and handoff."""
+"""The mobile support station: cell management and handoff.
+
+The MSS side of the paper's Section 2 mobility protocol.
+"""
 
 from __future__ import annotations
 
@@ -145,8 +148,17 @@ class MobileSupportStation(Host):
         self.local_mhs.add(mh_id)
 
     def is_local(self, mh_id: str) -> bool:
-        """Whether ``mh_id`` is currently in this cell."""
-        return mh_id in self.local_mhs
+        """Whether ``mh_id`` is currently in this cell.
+
+        Consults the population store for passive (array-backed) MHs,
+        so protocols probing cell membership never force a promotion.
+        """
+        if mh_id in self.local_mhs:
+            return True
+        population = self.network.population
+        return population is not None and population.passive_local(
+            mh_id, self.host_id
+        )
 
     def note_mh_vanished(self, mh_id: str) -> None:
         """The cell noticed ``mh_id`` go silent (the host crashed).

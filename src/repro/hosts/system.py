@@ -1,4 +1,7 @@
-"""System-level message kinds and payloads of the mobility protocol."""
+"""System-level message kinds and payloads of the mobility protocol.
+
+The join/leave(r)/disconnect/reconnect vocabulary of the paper's Section 2.
+"""
 
 from __future__ import annotations
 

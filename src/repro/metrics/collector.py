@@ -165,6 +165,35 @@ class MetricsCollector:
         energy = self._energy_rx
         energy[mh_id] = energy.get(mh_id, 0) + 1
 
+    def record_wireless_bulk(
+        self,
+        scope: str = DEFAULT_SCOPE,
+        tx: int = 0,
+        rx: int = 0,
+        mh_id: str = "mh-crowd",
+    ) -> None:
+        """Record many wireless messages in one O(1) update.
+
+        The scale substrate's batched cohort operations
+        (:mod:`repro.scale`) bill thousands of uplinks at once;
+        recording them one ``record_wireless_tx`` call (and one energy
+        dict entry) per MH would reintroduce exactly the per-MH memory
+        growth the store exists to avoid.  Energy is aggregated under
+        the single ``mh_id`` pseudo-host (default the crowd id), so
+        totals stay exact while the dicts stay O(1) in N.
+        """
+        if tx <= 0 and rx <= 0:
+            return
+        counts = self._counts
+        key = (_WIRELESS, scope)
+        counts[key] = counts.get(key, 0) + tx + rx
+        if tx > 0:
+            energy = self._energy_tx
+            energy[mh_id] = energy.get(mh_id, 0) + tx
+        if rx > 0:
+            energy = self._energy_rx
+            energy[mh_id] = energy.get(mh_id, 0) + rx
+
     def record_search(self, scope: str = DEFAULT_SCOPE) -> None:
         """Record one abstract search operation."""
         counts = self._counts

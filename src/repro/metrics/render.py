@@ -3,6 +3,7 @@
 The library is dependency-free, so figures are ASCII: sparklines for
 time series and horizontal bar charts for per-scope breakdowns.  Used
 by the examples and handy in any terminal session.
+Figures are drawn in the paper's cost currency (C_fixed / C_wireless / C_search).
 """
 
 from __future__ import annotations

@@ -4,6 +4,7 @@ The plain :class:`~repro.metrics.MetricsCollector` keeps only totals.
 :class:`TimelineCollector` additionally timestamps every recorded
 transmission, enabling figure-style outputs: cumulative cost curves,
 per-bucket message rates, and per-scope activity over time.
+Extends the paper's cost accounting with time resolution (ROADMAP observability arc).
 """
 
 from __future__ import annotations
@@ -57,6 +58,17 @@ class TimelineCollector(MetricsCollector):
                            scope: str = "default") -> None:
         super().record_wireless_rx(mh_id, scope)
         self._log(Category.WIRELESS, scope, 1, mh_id)
+
+    def record_wireless_bulk(
+        self,
+        scope: str = "default",
+        tx: int = 0,
+        rx: int = 0,
+        mh_id: str = "mh-crowd",
+    ) -> None:
+        super().record_wireless_bulk(scope, tx, rx, mh_id)
+        if tx + rx > 0:
+            self._log(Category.WIRELESS, scope, tx + rx, mh_id)
 
     def record_search(self, scope: str = "default") -> None:
         super().record_search(scope)

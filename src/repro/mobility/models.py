@@ -1,4 +1,7 @@
-"""Concrete mobility and disconnection models."""
+"""Concrete mobility and disconnection models.
+
+They drive the move/disconnect primitives of the paper's Section 2 protocol.
+"""
 
 from __future__ import annotations
 

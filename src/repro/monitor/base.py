@@ -13,6 +13,7 @@ the same monitor instance works both online (driven by a
 :class:`~repro.monitor.hub.MonitorHub` installed as ``network.trace``)
 and offline (replayed over a recorded trace with
 :func:`~repro.monitor.hub.replay_events`).
+Monitors certify the paper's safety claims online (ROADMAP observability arc).
 """
 
 from __future__ import annotations

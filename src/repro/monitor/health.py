@@ -14,6 +14,7 @@ Sampling is edge-triggered: the first event at or past the next
 boundary takes the sample, so a quiet stretch produces one late sample
 rather than a burst of identical ones.  ``finalize`` always appends a
 closing sample so the series covers the whole run.
+Part of the online monitoring layer (ROADMAP observability arc).
 """
 
 from __future__ import annotations

@@ -21,6 +21,7 @@ Two recording modes:
 Offline replay: :func:`replay_events` drives the same monitors over a
 recorded event list (for example a canonical scenario's trace), which
 is how the ``repro monitor`` CLI certifies the walkthrough scenarios.
+Part of the online monitoring layer (ROADMAP observability arc).
 """
 
 from __future__ import annotations

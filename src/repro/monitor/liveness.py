@@ -22,6 +22,7 @@ schedules anything, keeping the pure-observer contract — and
 is how a silently wedged protocol surfaces even if no later event ever
 fires.  Each stalled request/scope is reported once per episode, not
 once per event.
+Part of the online monitoring layer (ROADMAP observability arc).
 """
 
 from __future__ import annotations

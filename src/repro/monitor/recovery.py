@@ -17,6 +17,7 @@ hosts die and come back:
 Both are pure observers of the trace-event stream, like every monitor:
 they work online and over replayed traces, and add nothing to runs
 whose fault plan never kills an MH.
+Certifies the MH crash-recovery machinery (ROADMAP resilience arc).
 """
 
 from __future__ import annotations

@@ -1,4 +1,7 @@
-"""Exactly-once, totally ordered multicast delivery to mobile hosts."""
+"""Exactly-once, totally ordered multicast delivery to mobile hosts.
+
+Reproduces the companion system of the paper's reference [1].
+"""
 
 from __future__ import annotations
 

@@ -5,6 +5,7 @@ through a shared :class:`CriticalResource`.  The resource asserts the
 safety property (at most one holder at any simulated instant) and keeps
 the full access log that fairness tests inspect (e.g. L2 grants in
 timestamp order; R2' grants at most once per MH per ring traversal).
+The oracle checks the safety claim of the paper's Section 3 algorithms.
 """
 
 from __future__ import annotations

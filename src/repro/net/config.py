@@ -1,4 +1,7 @@
-"""Timing configuration for the simulated network."""
+"""Timing configuration for the simulated network.
+
+Parameterizes the fixed and wireless channels of the paper's Section 2 model.
+"""
 
 from __future__ import annotations
 

@@ -4,6 +4,7 @@ A :class:`Message` is a routing envelope; the protocol-specific content
 lives in ``payload`` (usually a small dataclass defined next to the
 protocol).  ``kind`` is the dispatch key: hosts register one handler per
 kind, namespaced by protocol (``"l2.request"``, ``"lv.update"``, ...).
+The envelope realizes the paper's Section 2 message taxonomy (fixed, wireless, search).
 """
 
 from __future__ import annotations

@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hosts.mh import MobileHost
     from repro.hosts.mss import MobileSupportStation
     from repro.net.reliable import ReliableTransport
+    from repro.scale.store import PopulationStore
 
 DeliveredCallback = Callable[[Message], None]
 DisconnectedCallback = Callable[[SearchOutcome], None]
@@ -72,6 +73,9 @@ class Network:
         self.lost_wireless_messages = 0
         #: fault injector; ``None`` keeps the paper's reliable model.
         self.faults: Optional["FaultInjector"] = None
+        #: array-backed passive-crowd store (``repro.scale``); ``None``
+        #: keeps every MH a full object.
+        self.population: Optional["PopulationStore"] = None
         #: reliable-delivery layer wrapping :meth:`send_fixed`.
         self.reliable: Optional["ReliableTransport"] = None
         # Trace sink (behind the ``trace`` property): the shared no-op
@@ -166,11 +170,34 @@ class Network:
         except KeyError:
             raise UnknownHostError(f"unknown MSS: {mss_id}") from None
 
+    def unregister_mh(self, mh_id: str) -> None:
+        """Drop a MH object (the population store's demotion path)."""
+        self._mh.pop(mh_id, None)
+
+    def install_population(self, population: "PopulationStore") -> None:
+        """Install a bound-once array-backed population store.
+
+        Once installed, :meth:`mobile_host` transparently promotes
+        passive store entries to full objects on first touch.
+        """
+        if self.population is not None:
+            raise SimulationError("population store already installed")
+        self.population = population
+
     def mobile_host(self, mh_id: str) -> "MobileHost":
-        """Look up a MH by id."""
+        """Look up a MH by id.
+
+        With a population store installed, a passive (array-backed) MH
+        is silently promoted to a full object here -- the single choke
+        point that makes the store transparent to protocols, mobility
+        models, and search.
+        """
         try:
             return self._mh[mh_id]
         except KeyError:
+            population = self.population
+            if population is not None and population.owns(mh_id):
+                return population.promote(mh_id)
             raise UnknownHostError(f"unknown MH: {mh_id}") from None
 
     def mss_ids(self) -> List[str]:
@@ -178,8 +205,19 @@ class Network:
         return list(self._mss)
 
     def mh_ids(self) -> List[str]:
-        """Ids of all registered MHs, in registration order."""
-        return list(self._mh)
+        """Ids of all MHs: population-store ids in index order (when a
+        store is installed), then any independently registered objects.
+
+        O(N) with a store installed -- a million-entry list.  Loops
+        over the whole population belong in the store's batched
+        operations, not here.
+        """
+        ids = list(self._mh)
+        population = self.population
+        if population is not None:
+            extras = [i for i in ids if not population.covers(i)]
+            return population.all_ids() + extras
+        return ids
 
     def notify_mh_joined(self, mh_id: str, mss_id: str) -> None:
         """Inform location-maintaining search protocols about a join."""
@@ -223,7 +261,11 @@ class Network:
 
     def is_mh_crashed(self, mh_id: str) -> bool:
         """Whether MH ``mh_id`` is currently down (always False
-        fault-free)."""
+        fault-free).  Reads the population store directly for passive
+        MHs -- a liveness probe must not force a promotion."""
+        population = self.population
+        if population is not None and population.owns(mh_id):
+            return population.is_crashed(mh_id)
         return self.mobile_host(mh_id).crashed
 
     def next_alive_mss(self, start_id: str) -> Optional[str]:
@@ -558,6 +600,13 @@ class Network:
                     )
                 )
             return
+        population = self.population
+        if population is not None and population.owns(mh_id):
+            # Promote before the local-membership check below: a
+            # passive MH that is in fact local must take the one-hop
+            # wireless path, not pay a spurious search (this keeps
+            # store-on and store-off runs byte-identical).
+            population.promote(mh_id)
         src = self.mss(src_mss_id)
         if mh_id in src.local_mhs:
             self.send_wireless_down(

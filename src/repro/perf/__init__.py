@@ -5,6 +5,7 @@ See :mod:`repro.perf.scenarios` for the workloads and
 :mod:`repro.perf.harness` for measurement and comparison; the shell
 entry point is ``tools/perf_harness.py`` (docs in
 ``docs/performance.md``).
+Keeps the reproduction's substrate speed from eroding (ROADMAP perf arc).
 """
 
 from repro.perf.harness import (

@@ -22,10 +22,12 @@ Two comparisons are supported:
 Determinism doubles as integrity checking: a scenario must process the
 same number of events on every repeat, and :func:`run_scenario` raises
 if it does not.
+Keeps the reproduction's substrate speed from eroding (ROADMAP perf arc).
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import platform
@@ -35,7 +37,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PerfGateError
 from repro.perf.scenarios import SCENARIOS, Scenario
 
 try:  # pragma: no cover - absent on non-unix platforms
@@ -64,6 +66,24 @@ def _peak_rss_kb() -> Optional[int]:
     return int(peak)
 
 
+def _current_rss_kb() -> Optional[int]:
+    """Instantaneous RSS in KiB (``None`` where /proc is unavailable).
+
+    Unlike :func:`_peak_rss_kb` this is not monotonic, which is what
+    the RSS-growth gate needs for its *before* reading: growth is
+    measured from the footprint just before the scenario, not from the
+    process-lifetime peak some earlier scenario may have set.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:  # pragma: no cover - non-linux
+        pass
+    return _peak_rss_kb()
+
+
 def calibrate(iterations: int = 300_000) -> float:
     """Machine-speed yardstick: pure-interpreter ops/sec.
 
@@ -87,7 +107,14 @@ def calibrate(iterations: int = 300_000) -> float:
 
 @dataclass(frozen=True)
 class ScenarioResult:
-    """One scenario's measurement (best-of-``repeats`` wall time)."""
+    """One scenario's measurement (best-of-``repeats`` wall time).
+
+    ``rss_growth_kb`` is how far RSS rose above the pre-scenario
+    footprint across all repeats; ``retained_blocks_per_kevent`` is the
+    post-``gc.collect()`` allocated-block delta per thousand events.
+    Both are the quantities the scale gates bound (``None`` where the
+    platform cannot measure them).
+    """
 
     name: str
     wall_time_s: float
@@ -95,6 +122,8 @@ class ScenarioResult:
     events_per_sec: float
     peak_rss_kb: Optional[int]
     repeats: int
+    rss_growth_kb: Optional[int] = None
+    retained_blocks_per_kevent: Optional[float] = None
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -103,6 +132,12 @@ class ScenarioResult:
             "events_per_sec": round(self.events_per_sec, 1),
             "peak_rss_kb": self.peak_rss_kb,
             "repeats": self.repeats,
+            "rss_growth_kb": self.rss_growth_kb,
+            "retained_blocks_per_kevent": (
+                round(self.retained_blocks_per_kevent, 1)
+                if self.retained_blocks_per_kevent is not None
+                else None
+            ),
         }
 
 
@@ -125,13 +160,33 @@ def run_scenario(
     noise-rejection choice for CPU-bound benchmarks), and raises if the
     event count is not identical across repeats -- a nondeterministic
     scenario cannot anchor a perf trajectory.
+
+    Scenarios with resource gates set
+    (:attr:`~repro.perf.scenarios.Scenario.max_rss_growth_kb`,
+    :attr:`~repro.perf.scenarios.Scenario.max_retained_blocks_per_kevent`)
+    additionally raise :class:`~repro.errors.PerfGateError` when a
+    gate is exceeded -- that is the N=100k/N=1M memory check of
+    ROADMAP item 2.
     """
     if isinstance(scenario, str):
         scenario = resolve(scenario)
     if repeats < 1:
         raise ConfigurationError("repeats must be >= 1")
-    best = float("inf")
+    gated = (
+        scenario.max_rss_growth_kb is not None
+        or scenario.max_retained_blocks_per_kevent is not None
+    )
     events: Optional[int] = None
+    if gated:
+        # One untimed warm-up run so one-time costs (lazy imports --
+        # notably numpy inside repro.scale -- interned strings, code
+        # objects) are paid before the measurement window opens; the
+        # gates are after leaks *per run*, not import footprints.
+        events = scenario.run()
+    gc.collect()
+    rss_before = _current_rss_kb()
+    blocks_before = sys.getallocatedblocks()
+    best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
         processed = scenario.run()
@@ -146,13 +201,42 @@ def run_scenario(
         if elapsed < best:
             best = elapsed
     assert events is not None
+    gc.collect()
+    retained_blocks = sys.getallocatedblocks() - blocks_before
+    peak_rss = _peak_rss_kb()
+    rss_growth: Optional[int] = None
+    if peak_rss is not None and rss_before is not None:
+        rss_growth = max(0, peak_rss - rss_before)
+    retained_per_kevent = (
+        retained_blocks / (events / 1000.0) if events else 0.0
+    )
+    if (
+        scenario.max_rss_growth_kb is not None
+        and rss_growth is not None
+        and rss_growth > scenario.max_rss_growth_kb
+    ):
+        raise PerfGateError(
+            f"{scenario.name}: RSS grew {rss_growth} KiB, gate is "
+            f"{scenario.max_rss_growth_kb} KiB"
+        )
+    if (
+        scenario.max_retained_blocks_per_kevent is not None
+        and retained_per_kevent > scenario.max_retained_blocks_per_kevent
+    ):
+        raise PerfGateError(
+            f"{scenario.name}: retained {retained_per_kevent:.1f} "
+            f"blocks/kevent after gc, gate is "
+            f"{scenario.max_retained_blocks_per_kevent}"
+        )
     return ScenarioResult(
         name=scenario.name,
         wall_time_s=best,
         events=events,
         events_per_sec=events / best if best > 0 else float("inf"),
-        peak_rss_kb=_peak_rss_kb(),
+        peak_rss_kb=peak_rss,
         repeats=repeats,
+        rss_growth_kb=rss_growth,
+        retained_blocks_per_kevent=retained_per_kevent,
     )
 
 

@@ -11,13 +11,14 @@ process the *same* number of events (the harness asserts this, so a
 perf run doubles as a substrate-determinism check), and optimizations
 to the substrate must never change the count (wall time is the only
 thing allowed to move).
+Includes the resource-gated scale scenarios of ROADMAP item 2 (docs/scaling.md).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.facade import Simulation
 from repro.faults import FaultPlan, LinkFault, MhCrash
@@ -185,6 +186,47 @@ def recovery_churn(n_mss: int, n_mh: int, duration: float = 300.0,
     return sim.scheduler.events_processed
 
 
+def crowd_churn(n_mss: int, n_mh: int, duration: float = 200.0,
+                tick: float = 10.0, n_active: int = 16) -> int:
+    """Array-backed population at scale: crowd churn + small active set.
+
+    The headline workload for ROADMAP item 2: ``n_mh`` hosts live in
+    the :class:`~repro.scale.PopulationStore` (parallel arrays, no
+    python objects), a :class:`~repro.scale.CrowdChurn` driver applies
+    mass move/disconnect/reconnect waves against the arrays, and a
+    small promoted set of ``n_active`` hosts runs real L2 mutex
+    traffic on the object path.  Memory is the quantity under test --
+    the harness's RSS-growth and retained-allocation gates are what
+    make this scenario a *scaling* check rather than a speed check.
+    """
+    sim = _make_sim(n_mss, n_mh, seed=61, population_store=True,
+                    max_active=max(64, 2 * n_active))
+    from repro.scale import CrowdChurn
+
+    churn = CrowdChurn(
+        sim.population, sim.scheduler,
+        tick=tick, move_fraction=0.01,
+        disconnect_fraction=0.002, reconnect_fraction=0.5,
+        rng=random.Random(67),
+    )
+    churn.start()
+    resource = CriticalResource(sim.scheduler)
+    mutex = L2Mutex(sim.network, resource, cs_duration=0.3)
+    active_ids = [sim.mh_id(i) for i in range(n_active)]
+    workload = MutexWorkload(sim.network, mutex, active_ids,
+                             request_rate=0.05, rng=random.Random(71))
+    sim.run(until=duration)
+    churn.stop()
+    workload.stop()
+    sim.drain()
+    resource.assert_no_overlap()
+    if churn.moved == 0 or churn.disconnected == 0:
+        raise AssertionError("crowd_churn churned nothing")
+    if sim.population.active_count > sim.population.max_active:
+        raise AssertionError("crowd_churn exceeded the active-set cap")
+    return sim.scheduler.events_processed
+
+
 def cancel_storm(n_events: int = 400_000) -> int:
     """Pure scheduler stress: schedule in waves, cancel most events
     before they fire.  Isolates heap push/pop and the lazy-cancellation
@@ -223,6 +265,13 @@ class Scenario:
         run: zero-argument callable; returns events processed.
         smoke: cheap enough for the CI ``perf-smoke`` regression gate.
         tags: free-form labels (``"mutex"``, ``"search"``, ...).
+        max_rss_growth_kb: when set, the harness fails the run if RSS
+            grows by more than this many KiB across the scenario's
+            repeats (a memory gate, not a speed gate).
+        max_retained_blocks_per_kevent: when set, the harness fails
+            the run if, after ``gc.collect()``, the scenario retained
+            more than this many allocated blocks per thousand events
+            processed (catches per-MH leaks that RSS alone can hide).
     """
 
     name: str
@@ -230,6 +279,8 @@ class Scenario:
     run: Callable[[], int]
     smoke: bool = False
     tags: Tuple[str, ...] = field(default=())
+    max_rss_growth_kb: Optional[int] = None
+    max_retained_blocks_per_kevent: Optional[float] = None
 
 
 SCENARIOS: Dict[str, Scenario] = {}
@@ -255,7 +306,7 @@ _register(Scenario(
     tags=("mutex", "mobility"),
 ))
 _register(Scenario(
-    name="smoke_scale",
+    name="smoke_mutex",
     description="small loaded system (M=6, N=40) for the CI gate",
     run=lambda: loaded_system(6, 40, 2000.0),
     smoke=True,
@@ -263,11 +314,34 @@ _register(Scenario(
 ))
 _register(Scenario(
     name="smoke_monitors",
-    description="the smoke_scale workload under the full default "
+    description="the smoke_mutex workload under the full default "
                 "invariant-monitor set (prices monitoring overhead)",
     run=lambda: loaded_system(6, 40, 2000.0, monitors=True),
     smoke=True,
     tags=("mutex", "mobility", "monitor", "smoke"),
+))
+_register(Scenario(
+    name="smoke_scale",
+    description="array-backed population at N=100k: crowd churn + "
+                "16 active hosts, under RSS and allocation gates",
+    run=lambda: crowd_churn(64, 100_000, 200.0),
+    smoke=True,
+    tags=("scale", "mobility", "smoke"),
+    # N=100k of array state is ~7 MB; 256 MB of growth headroom
+    # catches any accidental fall-back to per-MH python objects
+    # (~1 KB each -> ~100 MB+) while staying far above allocator
+    # noise on CI runners.
+    max_rss_growth_kb=262_144,
+    max_retained_blocks_per_kevent=2_000.0,
+))
+_register(Scenario(
+    name="scale_1m",
+    description="array-backed population at N=1M (not a smoke test; "
+                "see docs/scaling.md for the recipe)",
+    run=lambda: crowd_churn(256, 1_000_000, 100.0, tick=20.0),
+    tags=("scale", "mobility"),
+    max_rss_growth_kb=1_048_576,
+    max_retained_blocks_per_kevent=20_000.0,
 ))
 _register(Scenario(
     name="smoke_search",

@@ -1,4 +1,7 @@
-"""Proxy scope policies: who is a MH's proxy, and what it knows."""
+"""Proxy scope policies: who is a MH's proxy, and what it knows.
+
+The policy axis of the paper's Section 5 proxy framework.
+"""
 
 from __future__ import annotations
 

@@ -4,6 +4,7 @@ A client owns some per-MH volatile state worth protecting.  It reports
 progress to the manager (which the policy may turn into a checkpoint),
 loses its live copy when the host crashes, and reinstates whatever the
 latest checkpoint captured when the restore arrives.
+Client side of the distance-based checkpointing subsystem (ROADMAP resilience arc).
 """
 
 from __future__ import annotations

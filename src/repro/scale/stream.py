@@ -1,0 +1,117 @@
+"""Memory-bounded streaming statistics for million-MH populations.
+
+ROADMAP item 2 asks for "memory-bounded streaming metrics" so scale
+runs never grow per-MH dictionaries: a :class:`Welford` accumulator
+keeps an exact running mean/variance in O(1) space, and a
+:class:`FixedHistogram` buckets samples into a fixed number of bins.
+The :class:`~repro.scale.store.PopulationStore` feeds both from its
+batched cohort operations (move intervals, disconnection downtimes,
+batch sizes); nothing here allocates per sample.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class Welford:
+    """Streaming mean/variance via Welford's online algorithm.
+
+    Numerically stable, O(1) memory, exact (no sampling): the standard
+    tool for "what was the average trail length across 10^6 moves"
+    style questions where a list of samples would dwarf the population
+    arrays themselves.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the accumulator."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def variance(self) -> float:
+        """Population variance of everything added so far (0 if < 2)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict summary for reports and JSON dumps."""
+        return {
+            "count": self.count,
+            "mean": self.mean if self.count else 0.0,
+            "stddev": self.stddev,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class FixedHistogram:
+    """A histogram with a fixed set of bin edges (bounded memory).
+
+    ``edges`` are the upper bounds of each bin; samples above the last
+    edge land in a final overflow bin.  Unlike a dict-of-counts keyed
+    by value, the footprint is ``len(edges) + 1`` integers no matter
+    how many samples arrive -- the shape the scale substrate requires.
+    """
+
+    __slots__ = ("edges", "counts", "overflow")
+
+    def __init__(self, edges: Sequence[float]) -> None:
+        if not edges:
+            raise ConfigurationError(
+                "FixedHistogram needs at least one edge"
+            )
+        ordered = list(edges)
+        if ordered != sorted(ordered):
+            raise ConfigurationError("histogram edges must be ascending")
+        self.edges: List[float] = ordered
+        self.counts: List[int] = [0] * len(ordered)
+        self.overflow = 0
+
+    def add(self, value: float) -> None:
+        """Count one sample into its bin."""
+        for i, edge in enumerate(self.edges):
+            if value <= edge:
+                self.counts[i] += 1
+                return
+        self.overflow += 1
+
+    @property
+    def total(self) -> int:
+        """Total samples recorded."""
+        return sum(self.counts) + self.overflow
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict summary (edge -> count, plus the overflow bin)."""
+        return {
+            "bins": {
+                f"<={edge:g}": count
+                for edge, count in zip(self.edges, self.counts)
+            },
+            "overflow": self.overflow,
+            "total": self.total,
+        }

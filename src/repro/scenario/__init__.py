@@ -19,6 +19,7 @@ Quick start::
     spec = builtin_registry().get("partition_heal_storm")
     result = run_scenario(spec, seed=7)
     assert result.ok, result.failures
+Stress-certifies the paper's invariants under churn (ROADMAP chaos-scenario arc).
 """
 
 from repro.scenario.loader import load_file, load_spec

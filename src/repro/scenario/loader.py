@@ -7,6 +7,7 @@ failure raises :class:`~repro.errors.ConfigurationError` with the
 scenario name and the offending key in the message -- a scenario pack
 is configuration, and configuration errors must point at the line to
 fix, not at a traceback inside the runner.
+Part of the declarative chaos-scenario platform (ROADMAP chaos arc).
 """
 
 from __future__ import annotations

@@ -9,6 +9,7 @@ the whole built-in pack (one test id per scenario name); the
 ``scenario_seed`` fixture resolves the run seed, honouring the same
 ``REPRO_CHAOS_SEED`` environment variable the chaos suites use so CI
 seed sweeps cover the pack too.
+Part of the declarative chaos-scenario platform (ROADMAP chaos arc).
 """
 
 from __future__ import annotations

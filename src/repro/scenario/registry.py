@@ -4,6 +4,7 @@ A :class:`ScenarioRegistry` maps names to validated
 :class:`~repro.scenario.spec.ScenarioSpec` objects and answers
 tag-filtered queries; :func:`builtin_registry` loads the shipped pack
 from ``src/repro/scenario/pack/*.json`` exactly once per process.
+Part of the declarative chaos-scenario platform (ROADMAP chaos arc).
 """
 
 from __future__ import annotations

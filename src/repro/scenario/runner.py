@@ -13,6 +13,7 @@ The run discipline mirrors the CLI: drive traffic until ``duration``,
 stop the drivers, grant up to ``settle`` extra sim-time for in-flight
 mutex requests to complete, stop any token ring, then settle the
 remaining events.
+Certifies the paper's invariants under churn (ROADMAP chaos arc); large mass-event cohorts are coalesced via :mod:`repro.scale` (ROADMAP item 2).
 """
 
 from __future__ import annotations
@@ -36,6 +37,7 @@ from repro.mobility import (
 from repro.monitor import HealthMonitor, LivenessMonitor, safety_monitors
 from repro.mutex import CriticalResource, L1Mutex, L2Mutex, R1Mutex, R2Mutex
 from repro.mutex.r2 import R2Variant
+from repro.scale import dispatch_coalesced
 from repro.scenario.report import build_report
 from repro.scenario.spec import ScenarioSpec
 from repro.sim import PoissonProcess
@@ -282,17 +284,22 @@ class _Run:
                                                     len(connected)))
 
     def _event_mass_disconnect(self, event: Dict[str, Any]) -> None:
+        # Cohort follow-ups go through the coalesced dispatcher: small
+        # cohorts keep exact per-MH delays, large ones share at most
+        # ~32 scheduler events instead of one per MH (ROADMAP item 2).
         spread = event["reconnect_spread"]
+        ops = []
         for mh_id in self._cohort(event["fraction"]):
             self.sim.network.mobile_host(mh_id).disconnect()
             target = self.event_rng.choice(self.live_cells())
             delay = event["downtime"] + (
                 self.event_rng.uniform(0.0, spread) if spread else 0.0
             )
-            self.sim.scheduler.schedule(
-                delay, self._reconnect, mh_id, target,
-                event["supply_prev"],
-            )
+            ops.append((
+                delay, self._reconnect,
+                (mh_id, target, event["supply_prev"]),
+            ))
+        dispatch_coalesced(self.sim.scheduler, ops)
 
     def _reconnect(self, mh_id: str, mss_id: str,
                    supply_prev: bool) -> None:
@@ -306,17 +313,18 @@ class _Run:
     def _event_converge(self, event: Dict[str, Any]) -> None:
         cell = f"mss-{event['cell']}"
         spread = event["spread"]
+        ops = []
         for mh_id in self._cohort(event["fraction"]):
             delay = self.event_rng.uniform(0.0, spread) if spread \
                 else 0.0
-            self.sim.scheduler.schedule(
-                delay, self._move_if_possible, mh_id, cell
-            )
+            ops.append((delay, self._move_if_possible, (mh_id, cell)))
+        dispatch_coalesced(self.sim.scheduler, ops)
 
     def _event_scatter(self, event: Dict[str, Any]) -> None:
         source = (f"mss-{event['from_cell']}"
                   if event["from_cell"] is not None else None)
         spread = event["spread"]
+        ops = []
         for mh_id in self.participants:
             mh = self.sim.network.mobile_host(mh_id)
             if not mh.is_connected:
@@ -332,9 +340,8 @@ class _Run:
             target = self.event_rng.choice(options)
             delay = self.event_rng.uniform(0.0, spread) if spread \
                 else 0.0
-            self.sim.scheduler.schedule(
-                delay, self._move_if_possible, mh_id, target
-            )
+            ops.append((delay, self._move_if_possible, (mh_id, target)))
+        dispatch_coalesced(self.sim.scheduler, ops)
 
     def _event_move(self, event: Dict[str, Any]) -> None:
         self._move_if_possible(f"mh-{event['mh']}",

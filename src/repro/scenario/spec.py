@@ -16,6 +16,7 @@ or YAML files, inline dicts in tests) and executed by
 simulator -- it is comparable, hashable-by-name, serializable data, so
 a scenario means the same thing in the registry, the CLI, CI, and the
 pytest plugin.
+Part of the declarative chaos-scenario platform (ROADMAP chaos arc).
 """
 
 from __future__ import annotations

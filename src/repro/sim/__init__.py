@@ -5,6 +5,7 @@ monotonically increasing tie-breaking sequence number, cancellable event
 handles, and a tiny process helper for periodic activities.  Everything
 else in the library (channels, hosts, mobility, algorithms) is built on
 top of :class:`Scheduler`.
+This is the deterministic substrate beneath every protocol in the paper reproduction.
 """
 
 from repro.sim.scheduler import Event, Scheduler

@@ -5,6 +5,7 @@ Two small building blocks drive workloads and mobility: a fixed-interval
 :class:`PoissonProcess`.  Both call a user callback once per firing and
 reschedule themselves until stopped or until an optional event budget is
 exhausted.
+These drive the workloads exercising the paper's Section 3-5 algorithms.
 """
 
 from __future__ import annotations

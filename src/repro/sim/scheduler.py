@@ -18,6 +18,7 @@ Hot-path design (this is the innermost loop of every simulation):
   ones the heap is compacted in place, keeping memory and pop cost
   proportional to the live population even under cancel-heavy
   workloads (retransmit timers, stopped processes).
+The deterministic substrate beneath every protocol in the paper reproduction.
 """
 
 from __future__ import annotations

@@ -14,6 +14,7 @@ stream:
   Markdown; the format the rendered protocol walkthroughs use.
 
 All exporters are deterministic: same events in, same bytes out.
+The exports back the walkthroughs of the paper's Section 3-5 episodes.
 """
 
 from __future__ import annotations

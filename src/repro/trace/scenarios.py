@@ -12,6 +12,7 @@ Determinism matters: ``docs/walkthroughs/`` is generated from these
 runs and checked in, and CI regenerates it and fails on any diff.  All
 latency models here are the constant defaults and every RNG is seeded,
 so same code => same trace => same bytes.
+Each episode demonstrates one protocol from the paper's Sections 3-5.
 """
 
 from __future__ import annotations

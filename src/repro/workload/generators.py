@@ -1,4 +1,7 @@
-"""Concrete workload drivers."""
+"""Concrete workload drivers.
+
+Poisson drivers exercising the paper's Section 3-5 algorithms.
+"""
 
 from __future__ import annotations
 

@@ -8,7 +8,7 @@ Two promises are priced here:
    record (the pre-monitor baseline), using the same
    calibration-normalized comparison the perf gate uses.
 2. **Bounded, observation-only cost when on.**  ``smoke_monitors``
-   runs the exact ``smoke_scale`` workload under the full default
+   runs the exact ``smoke_mutex`` workload under the full default
    monitor set: the event count must be identical (monitors schedule
    nothing) and the slowdown must stay within an order of magnitude
    (the dispatch table, not a per-event linear scan).
@@ -46,13 +46,13 @@ def test_smoke_monitors_is_registered_for_the_ci_gate():
 
 
 def test_monitored_run_processes_identical_events():
-    baseline = SCENARIOS["smoke_scale"].run()
+    baseline = SCENARIOS["smoke_mutex"].run()
     monitored = SCENARIOS["smoke_monitors"].run()
     assert monitored == baseline
 
 
 def test_monitoring_overhead_is_bounded():
-    off = run_scenario("smoke_scale", repeats=1)
+    off = run_scenario("smoke_mutex", repeats=1)
     on = run_scenario("smoke_monitors", repeats=1)
     assert on.events == off.events
     slowdown = off.events_per_sec / on.events_per_sec
@@ -76,8 +76,14 @@ def test_monitors_off_stays_within_tolerance_of_bench4():
                 "repeats": result.repeats,
             }
             for name, result in (
-                (name, run_scenario(name, repeats=1))
-                for name in ("smoke_scale", "smoke_search")
+                # BENCH_4 predates the smoke_scale -> smoke_mutex
+                # rename; the workload is unchanged, so compare
+                # today's smoke_mutex under the record's old name.
+                (bench4_name, run_scenario(name, repeats=1))
+                for bench4_name, name in (
+                    ("smoke_scale", "smoke_mutex"),
+                    ("smoke_search", "smoke_search"),
+                )
             )
         },
     }

@@ -1,0 +1,120 @@
+"""Coalesced cohort dispatch: batching semantics and the runner's use.
+
+The scale substrate's promise (ROADMAP item 2) is that a mass event
+over a cohort of K MHs costs O(min(K, max_batches)) scheduler events,
+not O(K) -- while cohorts small enough to schedule exactly are
+scheduled exactly, so the certified chaos pack is bit-for-bit
+unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scale import DEFAULT_MAX_BATCHES, dispatch_coalesced
+from repro.scenario.loader import load_spec
+from repro.scenario.runner import run_scenario
+from repro.sim import Scheduler
+
+
+def test_small_cohorts_schedule_exactly():
+    sched = Scheduler()
+    fired = []
+    ops = [
+        (float(i), fired.append, (i,))
+        for i in range(DEFAULT_MAX_BATCHES)
+    ]
+    created = dispatch_coalesced(sched, ops)
+    assert created == DEFAULT_MAX_BATCHES
+    assert sched.pending_count == DEFAULT_MAX_BATCHES
+    # Each op fires at its own exact delay, in delay order.
+    times = []
+    while sched.step():
+        times.append(sched.now)
+    assert fired == list(range(DEFAULT_MAX_BATCHES))
+    assert times == [float(i) for i in range(DEFAULT_MAX_BATCHES)]
+
+
+def test_large_cohorts_are_bounded_by_max_batches():
+    sched = Scheduler()
+    fired = []
+    ops = [(i * 0.1, fired.append, (i,)) for i in range(500)]
+    created = dispatch_coalesced(sched, ops)
+    assert created <= DEFAULT_MAX_BATCHES
+    assert sched.pending_count == created
+    sched.drain()
+    # Every callback still runs exactly once.
+    assert sorted(fired) == list(range(500))
+
+
+def test_batching_never_fires_early():
+    """Quantization rounds delays *up* onto the batch grid: an op asked
+    to run at t may run later than t, never before."""
+    sched = Scheduler()
+    seen = {}
+
+    def note(i, want):
+        seen[i] = (want, sched.now)
+
+    ops = [(i * 0.37, note, (i, i * 0.37)) for i in range(200)]
+    dispatch_coalesced(sched, ops)
+    sched.drain()
+    assert len(seen) == 200
+    for want, got in seen.values():
+        assert got >= want - 1e-9
+
+
+def test_zero_spread_collapses_to_one_batch():
+    sched = Scheduler()
+    fired = []
+    ops = [(0.0, fired.append, (i,)) for i in range(100)]
+    created = dispatch_coalesced(sched, ops)
+    assert created == 1
+    sched.drain()
+    assert fired == list(range(100))
+
+
+def test_empty_and_invalid():
+    sched = Scheduler()
+    assert dispatch_coalesced(sched, []) == 0
+    with pytest.raises(ValueError):
+        dispatch_coalesced(sched, [(0.0, print, ())], max_batches=0)
+
+
+def test_runner_mass_event_creates_bounded_followups(monkeypatch):
+    """A mass_disconnect over a cohort far larger than the batch budget
+    must not create one reconnect timer per MH."""
+    import repro.scenario.runner as runner_mod
+
+    calls = []
+
+    def spy(scheduler, ops, max_batches=DEFAULT_MAX_BATCHES):
+        created = dispatch_coalesced(scheduler, ops, max_batches)
+        calls.append((len(ops), created))
+        return created
+
+    monkeypatch.setattr(runner_mod, "dispatch_coalesced", spy)
+    n_mh = 300
+    spec = load_spec({
+        "name": "dispatch-probe",
+        "n_mss": 4,
+        "n_mh": n_mh,
+        "duration": 30.0,
+        "settle": 200.0,
+        "workload": {"kind": "none"},
+        "events": [{
+            "kind": "mass_disconnect",
+            "at": 5.0,
+            "fraction": 1.0,
+            "downtime": 10.0,
+            "reconnect_spread": 8.0,
+        }],
+        "expect": {},
+    })
+    result = run_scenario(spec, seed=3)
+    assert result.ok, result.failures
+    big = [(n_ops, created) for n_ops, created in calls if n_ops >= 100]
+    assert big, f"no large cohort dispatched: {calls}"
+    for n_ops, created in big:
+        assert n_ops == n_mh
+        assert created <= DEFAULT_MAX_BATCHES

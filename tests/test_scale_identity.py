@@ -1,0 +1,114 @@
+"""The store's correctness claim: byte-identity at small N.
+
+With the abstract search protocol, a run with ``population_store=True``
+must be indistinguishable from the plain object path -- same event
+count, same final clock, same full-surface metrics digest -- because
+promotion is silent (no events, no messages, no RNG draws).  The
+golden numbers are pinned from the object path so the pair of modes
+cannot drift together unnoticed.
+
+The claim is deliberately scoped to the abstract search protocol:
+location-maintaining searches (home-agent, caching) learn a host's
+cell at *promotion* time rather than t=0, so their maintenance traffic
+shifts -- see docs/scaling.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro import Simulation
+from repro.mutex import CriticalResource, L2Mutex
+
+
+def metrics_digest(sim) -> str:
+    snap = sim.metrics.snapshot()
+    counts = sorted(
+        ((cat.value, scope), n) for (cat, scope), n in snap.counts.items()
+    )
+    payload = json.dumps(
+        {
+            "counts": counts,
+            "energy_tx": sorted(snap.energy_tx.items()),
+            "energy_rx": sorted(snap.energy_rx.items()),
+            "faults": sorted(snap.faults.items()),
+            "recovery_times": list(snap.recovery_times),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+#: golden numbers recorded on the object path (population_store=False).
+GOLDEN = {
+    "events_processed": 96,
+    "final_now": 44.5,
+    "access_count": 5,
+    "digest": "873520cf78de92facd5c5abb8147f33d"
+              "94c0fda184ee3d98340b8a9047b25f2e",
+}
+
+
+def workload(population_store: bool):
+    """Mutex + mobility + messaging over a 5-host active set out of 30.
+
+    Everything the workload touches goes through the public surface
+    (ids and accessors), so the store path exercises promotion for the
+    active five while 25 hosts stay passive arrays.
+    """
+    sim = Simulation(n_mss=5, n_mh=30, seed=21,
+                     population_store=population_store)
+    resource = CriticalResource(sim.scheduler)
+    mutex = L2Mutex(sim.network, resource, cs_duration=1.0, scope="L2")
+    for i in range(5):
+        mutex.request(sim.mh_id(i))
+    sim.run(until=10.0)
+    sim.mh(1).move_to(sim.mss_id(3))
+    sim.mh(2).disconnect()
+    sim.run(until=20.0)
+    sim.mh(2).reconnect(sim.mss_id(0), supply_prev=True)
+    got = []
+    sim.mh(3).register_handler("app.ping", lambda m: got.append(m))
+    sim.network.send_to_mh(
+        sim.mss_id(4), sim.mh_id(3),
+        __import__("repro.net.messages", fromlist=["Message"]).Message(
+            src=sim.mss_id(4), dst=sim.mh_id(3), kind="app.ping",
+            scope="app", payload=None,
+        ),
+    )
+    sim.run(until=40.0)
+    sim.mh(0).move_to(sim.mss_id(2))
+    sim.drain(max_events=1_000_000)
+    assert got, "app message never delivered"
+    return sim, resource, sim.scheduler.events_processed
+
+
+@pytest.mark.parametrize("store", [False, True], ids=["objects", "store"])
+def test_workload_matches_golden(store):
+    sim, resource, events = workload(store)
+    assert events == GOLDEN["events_processed"]
+    assert sim.now == GOLDEN["final_now"]
+    assert resource.access_count == GOLDEN["access_count"]
+    assert metrics_digest(sim) == GOLDEN["digest"]
+
+
+def test_store_run_is_byte_identical_to_object_run():
+    plain, _, plain_events = workload(False)
+    stored, _, stored_events = workload(True)
+    assert stored_events == plain_events
+    assert stored.now == plain.now
+    assert metrics_digest(stored) == metrics_digest(plain)
+    # And the store really was in play: only the touched hosts were
+    # ever promoted.
+    assert 0 < stored.population.active_count <= 6
+    assert stored.population.passive_connected >= 24
+
+
+def test_untouched_crowd_never_promotes():
+    sim = Simulation(n_mss=4, n_mh=50, seed=9, population_store=True)
+    sim.mh(0).move_to(sim.mss_id(2))
+    sim.drain()
+    assert sim.population.promotions == 1

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Execute every example in ``docs/scaling.md``.
+
+The scaling guide promises its snippets are copy-pasteable.  This
+script extracts each fenced block and runs it: ``python -m repro ...``
+lines from shell fences go through :func:`repro.cli.main` in-process,
+and ``python`` fences are executed as scripts.  Exits 1 on the first
+failing example.  The CI ``docs`` job runs this, so the guide cannot
+drift from the code it documents.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shlex
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GUIDE = os.path.join(REPO, "docs", "scaling.md")
+
+_FENCE_RE = re.compile(r"```(\w*)\n(.*?)```", re.DOTALL)
+
+
+def main() -> int:
+    sys.path.insert(0, os.path.join(REPO, "src"))
+    from repro.cli import main as cli_main
+
+    with open(GUIDE, encoding="utf-8") as fh:
+        text = fh.read()
+    ran = 0
+    for lang, block in _FENCE_RE.findall(text):
+        if lang == "python":
+            print(f"[scaling.md] python block ({len(block)} chars)")
+            exec(compile(block, GUIDE, "exec"), {"__name__": "example"})
+            ran += 1
+            continue
+        for line in block.replace("\\\n", " ").splitlines():
+            line = line.strip()
+            if not line.startswith(("python -m repro", "PYTHONPATH=src "
+                                    "python -m repro")):
+                continue
+            argv = shlex.split(line)
+            argv = argv[argv.index("repro") + 1:]
+            print(f"[scaling.md] repro {' '.join(argv)}")
+            code = cli_main(argv, emit=lambda s: None)
+            if code != 0:
+                print(f"example exited {code}: {line}", file=sys.stderr)
+                return 1
+            ran += 1
+    print(f"ran {ran} examples from docs/scaling.md")
+    return 0 if ran else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
