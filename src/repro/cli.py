@@ -285,6 +285,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", dest="list_scenarios",
         help="list the available scenarios and exit",
     )
+    perf.add_argument(
+        "--compare", default=None, metavar="BENCH",
+        help="after measuring, print a per-scenario delta table "
+             "against this BENCH_<n>.json record (speedup/regression "
+             "%% and gate margins); exits 1 on a regression past the "
+             "CI floor",
+    )
 
     return parser
 
@@ -981,6 +988,8 @@ def _run_perf(args, emit) -> int:
             emit(f"{name:<18} {scenario.description}{tag}")
         return 0
     names = [args.scenario] if args.scenario else scenario_names()
+    if args.compare:
+        return _run_perf_compare(args, names, emit)
     for name in names:
         try:
             result = run_scenario(name, repeats=args.repeats)
@@ -995,6 +1004,76 @@ def _run_perf(args, emit) -> int:
         emit(f"{name:<18} {result.events:>9} events  "
              f"{result.wall_time_s:>8.3f}s  "
              f"{result.events_per_sec:>10.0f} ev/s{gates}")
+    return 0
+
+
+#: the CI regression floor `repro perf --compare` reports margins
+#: against (normalized events/sec as a fraction of the baseline's;
+#: same default as tools/perf_harness.py --check).
+_PERF_FLOOR = 0.70
+
+
+def _run_perf_compare(args, names, emit) -> int:
+    """Measure, then diff against a recorded BENCH_<n>.json."""
+    from repro.errors import ConfigurationError, PerfGateError
+    from repro.perf import (
+        SCENARIOS,
+        check_regressions,
+        compare,
+        delta_table,
+        load_bench,
+        run_suite,
+    )
+
+    try:
+        baseline = load_bench(args.compare)
+    except OSError as exc:
+        raise SystemExit(f"perf: cannot load {args.compare}: {exc}")
+    except (ValueError, ConfigurationError) as exc:
+        raise SystemExit(f"perf: {exc}")
+    try:
+        current = run_suite(names, repeats=args.repeats, progress=emit)
+    except ConfigurationError as exc:
+        raise SystemExit(f"perf: {exc}") from exc
+    except PerfGateError as exc:
+        emit(f"perf: GATE FAILED: {exc}")
+        return 1
+    deltas = compare(current, baseline)
+    if not deltas:
+        emit(f"perf: no scenarios in common with {args.compare}")
+        return 1
+    emit("")
+    emit(f"vs {args.compare}:")
+    emit(delta_table(deltas))
+    emit("")
+    emit(f"gate margins (CI floor: {_PERF_FLOOR:.2f}x normalized):")
+    for delta in deltas:
+        ratio = (
+            delta.normalized_ratio
+            if delta.normalized_ratio is not None
+            else delta.raw_ratio
+        )
+        cur = current["scenarios"][delta.name]
+        scenario = SCENARIOS[delta.name]
+        bits = [f"speed {(ratio - _PERF_FLOOR) * 100:+8.1f}pt above floor"]
+        if (scenario.max_rss_growth_kb is not None
+                and cur.get("rss_growth_kb") is not None):
+            bits.append(
+                f"rss {cur['rss_growth_kb']}/"
+                f"{scenario.max_rss_growth_kb} KiB"
+            )
+        if (scenario.max_retained_blocks_per_kevent is not None
+                and cur.get("retained_blocks_per_kevent") is not None):
+            bits.append(
+                f"retained {cur['retained_blocks_per_kevent']}/"
+                f"{scenario.max_retained_blocks_per_kevent} blk/kev"
+            )
+        emit(f"{delta.name:<18}" + "  ".join(bits))
+    failures = check_regressions(deltas, max_regression=1.0 - _PERF_FLOOR)
+    if failures:
+        for failure in failures:
+            emit(f"perf: REGRESSION: {failure}")
+        return 1
     return 0
 
 

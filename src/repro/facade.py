@@ -34,7 +34,7 @@ from repro.net.search import (
     HomeAgentSearch,
     SearchProtocol,
 )
-from repro.sim import Scheduler
+from repro.sim import make_scheduler
 
 #: ways to place the N MHs into the M cells at construction time.
 Placement = Union[str, Sequence[int], Callable[[int, int], int]]
@@ -125,6 +125,19 @@ class Simulation:
             ``docs/scaling.md``.
         max_active: soft cap on simultaneously promoted hosts (only
             with ``population_store=True``; default 1024).
+        scheduler: event-queue implementation -- ``"heap"`` (default,
+            binary heap) or ``"calendar"`` (calendar queue, O(1)
+            amortized at high event density).  Firing order is
+            byte-identical; see ``docs/performance.md``.
+        pooling: recycle fire-and-forget event objects through the
+            scheduler's free list (default on; byte-identical either
+            way).
+        monitor_sampling: monitor-overhead control (only meaningful
+            with ``monitors``): ``None``/``False`` delivers every
+            event; ``True`` samples high-rate event types at the
+            default rate; a float in ``(0, 1]`` sets the rate
+            explicitly.  Safety monitors that need every event keep
+            getting every event -- see ``docs/observability.md``.
     """
 
     def __init__(
@@ -143,6 +156,9 @@ class Simulation:
         recovery: Union[None, str, object] = None,
         population_store: bool = False,
         max_active: Optional[int] = None,
+        scheduler: str = "heap",
+        pooling: bool = True,
+        monitor_sampling: Union[None, bool, float] = None,
     ) -> None:
         if n_mss < 1:
             raise ConfigurationError("need at least one MSS")
@@ -152,7 +168,7 @@ class Simulation:
         self.n_mh = n_mh
         self.rng = random.Random(seed)
         self.cost_model = cost_model if cost_model is not None else CostModel()
-        self.scheduler = Scheduler()
+        self.scheduler = make_scheduler(scheduler, pooling=pooling)
         if timeline:
             from repro.metrics.timeline import TimelineCollector
 
@@ -188,8 +204,19 @@ class Simulation:
             # The hub *is* a tracer: with trace=True it records events
             # like a plain Tracer would; with trace=False it dispatches
             # to the monitors and drops each event, bounding memory.
+            if monitor_sampling is None or monitor_sampling is False:
+                sample_rate = 1.0
+            elif monitor_sampling is True:
+                from repro.monitor import DEFAULT_SAMPLE_RATE
+
+                sample_rate = DEFAULT_SAMPLE_RATE
+            else:
+                sample_rate = float(monitor_sampling)
             self.monitor_hub = MonitorHub(
-                self.scheduler, monitor_list, record=trace
+                self.scheduler,
+                monitor_list,
+                record=trace,
+                sample_rate=sample_rate,
             )
             self.network.trace = self.monitor_hub
             self.monitor_hub.bind(self.network)

@@ -62,18 +62,50 @@ class Host:
                 f"{self.host_id}: no handler for message kind "
                 f"{message.kind!r} (from {message.src})"
             )
-        trace = self.network._trace
+        network = self.network
+        trace = network._trace
         if trace.enabled:
-            recv_id = trace.emit(
-                "recv",
-                scope=message.scope,
-                src=message.src,
-                dst=self.host_id,
-                kind=message.kind,
-                parent=message.trace_id,
-            )
-            with trace.context(recv_id):
+            gate = network._gate_recv
+            if gate is not None:
+                # Sampling hub: resolve the cadence inline (see
+                # MonitorHub.call_site_gate) so a skipped receive costs
+                # two list ops instead of a full emit.
+                counter = gate[0]
+                c = counter[0] - 1
+                if c > 0 and not (
+                    gate[2] and message.kind.endswith(gate[2])
+                ):
+                    counter[0] = c
+                    handler(message)
+                    return
+                due = c <= 0
+                counter[0] = gate[1] if due else c
+                recv_id = trace.emit_gated(
+                    "recv",
+                    due,
+                    scope=message.scope,
+                    src=message.src,
+                    dst=self.host_id,
+                    kind=message.kind,
+                    parent=message.trace_id,
+                )
+            else:
+                recv_id = trace.emit(
+                    "recv",
+                    scope=message.scope,
+                    src=message.src,
+                    dst=self.host_id,
+                    kind=message.kind,
+                    parent=message.trace_id,
+                )
+            # Inline trace.context(recv_id): the with-statement plus
+            # context-object allocation is measurable at this call rate.
+            stack = trace._stack
+            stack.append(recv_id)
+            try:
                 handler(message)
+            finally:
+                stack.pop()
         else:
             handler(message)
 

@@ -148,11 +148,17 @@ class MobileHost(Host):
                 r=self.last_received_seq,
                 to=new_mss_id,
             )
-            with trace.context(leave_id):
+            # Inline trace.context(leave_id): moves are hot enough for
+            # the context-object allocation to show up in profiles.
+            stack = trace._stack
+            stack.append(leave_id)
+            try:
                 self._send_system(
                     KIND_LEAVE,
                     LeavePayload(self.host_id, self.last_received_seq),
                 )
+            finally:
+                stack.pop()
         else:
             self._send_system(
                 KIND_LEAVE,
@@ -202,11 +208,15 @@ class MobileHost(Host):
                 dst=new_mss_id,
                 prev=prev_mss_id,
             )
-            with trace.context(join_id):
+            stack = trace._stack
+            stack.append(join_id)
+            try:
                 self._send_system(
                     KIND_JOIN, JoinPayload(self.host_id, prev_mss_id)
                 )
                 self._notify_attached()
+            finally:
+                stack.pop()
         else:
             self._send_system(
                 KIND_JOIN, JoinPayload(self.host_id, prev_mss_id)

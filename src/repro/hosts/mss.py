@@ -307,15 +307,36 @@ class MobileSupportStation(Host):
                 state[name] = share
         was_disconnected = request.mh_id in self.disconnected_mhs
         self.disconnected_mhs.discard(request.mh_id)
-        if self.network._trace_on:
-            self.network._trace.emit(
-                "mss.handoff",
-                scope=MOBILITY_SCOPE,
-                src=self.host_id,
-                dst=request.new_mss_id,
-                mh_id=request.mh_id,
-                shares=sorted(state),
-            )
+        network = self.network
+        if network._trace_on:
+            gate = network._gate_mss_handoff
+            if gate is not None:
+                # Sampling hub: resolve the cadence inline so a skipped
+                # handoff event costs two list ops (and skips the
+                # sorted() below) instead of a full emit.
+                counter = gate[0]
+                c = counter[0] - 1
+                due = c <= 0
+                counter[0] = gate[1] if due else c
+                if due:
+                    network._trace.emit_gated(
+                        "mss.handoff",
+                        True,
+                        scope=MOBILITY_SCOPE,
+                        src=self.host_id,
+                        dst=request.new_mss_id,
+                        mh_id=request.mh_id,
+                        shares=sorted(state),
+                    )
+            else:
+                network._trace.emit(
+                    "mss.handoff",
+                    scope=MOBILITY_SCOPE,
+                    src=self.host_id,
+                    dst=request.new_mss_id,
+                    mh_id=request.mh_id,
+                    shares=sorted(state),
+                )
         self.send_fixed(
             request.new_mss_id,
             KIND_HANDOFF_REPLY,

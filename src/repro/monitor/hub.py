@@ -5,9 +5,10 @@
 ``network.trace``, so every instrumentation point that already feeds
 the trace layer feeds the monitors too, through the same
 ``_trace_on``-style guard that makes the whole layer free when off.
-After recording each event it dispatches it to the monitors whose
-``interests`` match, via a per-event-type dispatch table built once at
-construction.
+Events are dispatched through a compiled per-event-type table: the
+first emit of each etype resolves, once, which monitors want it, which
+are gated on a message-kind suffix, and which are sampled — so the
+steady-state hot path is one dict lookup plus the delivery loop.
 
 Two recording modes:
 
@@ -15,8 +16,22 @@ Two recording modes:
   list grows; exporters and walkthroughs keep working) *and* monitors
   run.  This is ``Simulation(trace=True, monitors=...)``.
 * ``record=False`` — events are dispatched to the monitors and then
-  dropped, so memory stays bounded on long runs.  This is
-  ``Simulation(trace=False, monitors=...)``.
+  dropped, so memory stays bounded on long runs.  The hub recycles the
+  :class:`TraceEvent` objects through a :class:`repro.pool.Pool` free
+  list (monitors are pure observers and never retain event objects),
+  and skips constructing the event entirely when no monitor would see
+  it.  This is ``Simulation(trace=False, monitors=...)``.
+
+Sampling (``sample_rate < 1.0``, ROADMAP item 3's "observability for
+<10%" goal): event types are thinned with a deterministic stride —
+every ``round(1/rate)``-th occurrence is delivered, starting with the
+first — but only for monitors that declare ``samplable = True`` and
+only for etypes outside their ``critical_etypes``.  Safety monitors
+with exact state machines keep seeing every event at any rate, so a
+sampled run can *miss* a violation in a thinned high-rate stream but
+can never report a false one.  ``etype_filters`` drops whole event
+types outright (ids are still allocated, so causality chains are
+byte-identical).
 
 Offline replay: :func:`replay_events` drives the same monitors over a
 recorded event list (for example a canonical scenario's trace), which
@@ -26,12 +41,71 @@ Part of the online monitoring layer (ROADMAP observability arc).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.errors import ConfigurationError
 from repro.monitor.base import Monitor, Violation
+from repro.pool import Pool
 from repro.trace.events import TraceEvent, Tracer
 
 __all__ = ["MonitorHub", "replay_events"]
+
+
+def _blank_event() -> TraceEvent:
+    return TraceEvent(id=0, parent_id=None, time=0.0, etype="")
+
+
+def _reset_event(event: TraceEvent) -> None:
+    # Drop the payload dict so the free list cannot pin protocol
+    # objects alive; scalar fields are overwritten on acquire.
+    event.detail = None  # type: ignore[assignment]
+
+
+class _Entry:
+    """Compiled dispatch state for one event type.
+
+    ``targets`` is an ordered tuple of ``(on_event, suffixes, sampled)``
+    triples preserving the pre-compilation delivery order (explicit
+    interests in registration order, then wildcards), so a run at
+    ``sample_rate=1.0`` is byte-identical to the uncompiled hub.
+    """
+
+    __slots__ = (
+        "targets",
+        "filtered",
+        "always",
+        "gate_suffixes",
+        "has_sampled",
+        "stride",
+        "counter",
+    )
+
+    def __init__(
+        self,
+        targets: Tuple[Tuple[Any, Optional[Tuple[str, ...]], bool], ...],
+        filtered: bool,
+        stride: int,
+    ) -> None:
+        self.targets = targets
+        self.filtered = filtered
+        #: at least one target is unconditional (no gate, not sampled),
+        #: so the event object is always needed.
+        self.always = any(
+            suffixes is None and not sampled
+            for _, suffixes, sampled in targets
+        )
+        gate: Tuple[str, ...] = ()
+        for _, suffixes, _ in targets:
+            if suffixes:
+                gate += suffixes
+        #: union of every target's kind-suffix gate; used to decide
+        #: whether a skipped-sample event still needs constructing.
+        self.gate_suffixes: Optional[Tuple[str, ...]] = gate or None
+        self.has_sampled = any(sampled for _, _, sampled in targets)
+        self.stride = stride
+        #: countdown cell; primed at 1 so the first occurrence of every
+        #: etype is always delivered.
+        self.counter = [1]
 
 
 class MonitorHub(Tracer):
@@ -41,6 +115,18 @@ class MonitorHub(Tracer):
     :meth:`dispatch` (offline replay).  The hub aggregates their
     violations and exposes one ``finalize()``/``ok``/``report()``
     surface for tests, the facade, and the CLI.
+
+    Args:
+        scheduler: clock source (``None`` for offline replay).
+        monitors: the monitor instances to drive.
+        record: keep the full event list (tracer behaviour) or drop
+            events after dispatch (bounded memory).
+        sample_rate: fraction of high-rate events delivered to
+            ``samplable`` monitors — realized as a deterministic
+            per-etype stride of ``round(1/sample_rate)``.  ``1.0``
+            (default) delivers everything.
+        etype_filters: event types dropped entirely (not recorded, not
+            dispatched; ids still allocated).
     """
 
     def __init__(
@@ -48,23 +134,30 @@ class MonitorHub(Tracer):
         scheduler,
         monitors: Sequence[Monitor],
         record: bool = True,
+        sample_rate: float = 1.0,
+        etype_filters: Sequence[str] = (),
     ) -> None:
         super().__init__(scheduler)
+        if not 0.0 < sample_rate <= 1.0:
+            raise ConfigurationError(
+                f"sample_rate must be in (0, 1]: {sample_rate}"
+            )
         self.record = record
+        self.sample_rate = sample_rate
+        self.stride = max(1, round(1.0 / sample_rate))
+        self.etype_filters = frozenset(etype_filters)
         self.monitors: List[Monitor] = list(monitors)
         self.network = None
         self._finalized = False
-        #: etype -> monitors with that explicit interest
-        self._by_etype: Dict[str, List[Monitor]] = {}
-        #: monitors subscribed to every event (interests is None)
-        self._wildcard: List[Monitor] = []
+        self._table: Dict[str, _Entry] = {}
+        self._event_pool = Pool(
+            _blank_event,
+            reset=_reset_event,
+            capacity=64,
+            name="monitor.trace_events",
+        )
         for monitor in self.monitors:
             monitor.attach(self)
-            if monitor.interests is None:
-                self._wildcard.append(monitor)
-            else:
-                for etype in monitor.interests:
-                    self._by_etype.setdefault(etype, []).append(monitor)
 
     # -- wiring -------------------------------------------------------
     def bind(self, network) -> None:
@@ -80,30 +173,268 @@ class MonitorHub(Tracer):
                 return monitor
         return None
 
+    # -- dispatch-table compilation -----------------------------------
+    def _compile(self, etype: str) -> _Entry:
+        """Resolve, once, how events of ``etype`` are delivered."""
+        ordered: List[Monitor] = [
+            m
+            for m in self.monitors
+            if m.interests is not None and etype in m.interests
+        ]
+        ordered += [m for m in self.monitors if m.interests is None]
+        sampling = self.stride > 1
+        targets = []
+        for monitor in ordered:
+            suffixes = (
+                monitor.kind_gates.get(etype) if monitor.kind_gates else None
+            )
+            # A kind-gated target is never sampled: the gate already
+            # narrows it to the exact kinds its state machine consumes
+            # (kind-scoped analogue of critical_etypes).
+            sampled = (
+                sampling
+                and monitor.samplable
+                and suffixes is None
+                and etype not in monitor.critical_etypes
+            )
+            targets.append((monitor.on_event, suffixes, sampled))
+        entry = _Entry(
+            tuple(targets), etype in self.etype_filters, self.stride
+        )
+        self._table[etype] = entry
+        return entry
+
+    # -- call-site gates ----------------------------------------------
+    def call_site_gate(self, etype):
+        """Compiled skip-gate for one hot instrumentation point.
+
+        Returns ``(counter_cell, stride, kind_suffixes)`` when the
+        caller may resolve the sampling cadence *before* paying for the
+        emit call, or ``None`` when events of ``etype`` must always be
+        emitted (recording is on, sampling is off, or some monitor
+        listens unconditionally).  The caller decrements the shared
+        counter cell once per occurrence; on a due tick it resets the
+        cell to ``stride`` and calls :meth:`emit_gated` with
+        ``due=True``; on a kind-suffix match it calls with
+        ``due=False``; otherwise it skips the event entirely -- no
+        event id is allocated, and any ``trace_id`` it would have
+        stamped must be cleared so stale ids can never masquerade as
+        causal parents.  Ids in a gated run are therefore *not*
+        comparable with an unsampled run's; at ``sample_rate=1.0`` no
+        gate is handed out, which keeps full runs byte-identical.
+        """
+        if self.record or self.stride <= 1:
+            return None
+        entry = self._table.get(etype)
+        if entry is None:
+            entry = self._compile(etype)
+        if entry.always:
+            return None
+        return (entry.counter, entry.stride, entry.gate_suffixes or ())
+
+    def emit_gated(
+        self,
+        etype: str,
+        due: bool,
+        *,
+        scope: str = "default",
+        category: Optional[str] = None,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        kind: Optional[str] = None,
+        parent: Optional[int] = None,
+        **detail: Any,
+    ) -> int:
+        """Deliver one event whose cadence a call-site gate resolved.
+
+        The counter cell was already ticked by the caller, so this path
+        performs no cadence bookkeeping: it constructs the (pooled)
+        event and runs the delivery loop with the caller's ``due``.
+        """
+        if parent is None and self._stack:
+            parent = self._stack[-1]
+        event_id = self._next_id
+        self._next_id = event_id + 1
+        entry = self._table.get(etype)
+        if entry is None:  # pragma: no cover - gates imply compiled
+            entry = self._compile(etype)
+        if entry.filtered:
+            return event_id
+        pool = self._event_pool
+        if pool._outstanding is None:
+            # Inline Pool.acquire (debug tracking off): one event per
+            # delivered emit makes the method call itself measurable.
+            free = pool._free
+            if free:
+                event = free.pop()
+                pool.reused += 1
+            else:
+                event = _blank_event()
+                pool.created += 1
+        else:
+            event = pool.acquire()
+        event.id = event_id
+        event.parent_id = parent
+        event.time = self.scheduler.now
+        event.etype = etype
+        event.scope = scope
+        event.category = category
+        event.src = src
+        event.dst = dst
+        event.kind = kind
+        event.detail = detail
+        for on_event, suffixes, sampled in entry.targets:
+            if sampled and not due:
+                continue
+            if suffixes is not None and (
+                kind is None or not kind.endswith(suffixes)
+            ):
+                continue
+            on_event(event)
+        if pool._outstanding is None:
+            event.detail = None  # type: ignore[assignment]
+            pool.released += 1
+            free = pool._free
+            if len(free) < pool.capacity:
+                free.append(event)
+        else:
+            pool.release(event)
+        return event_id
+
     # -- online path --------------------------------------------------
-    def emit(self, etype: str, **kwargs: Any) -> int:
-        event_id = super().emit(etype, **kwargs)
-        events = self.events
-        event = events[-1]
-        if not self.record:
-            events.pop()
-        interested = self._by_etype.get(etype)
-        if interested:
-            for monitor in interested:
-                monitor.on_event(event)
-        for monitor in self._wildcard:
-            monitor.on_event(event)
+    def emit(
+        self,
+        etype: str,
+        *,
+        scope: str = "default",
+        category: Optional[str] = None,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        kind: Optional[str] = None,
+        parent: Optional[int] = None,
+        **detail: Any,
+    ) -> int:
+        # The event id is always allocated -- even for filtered or
+        # skipped events -- so parent-id causality chains are identical
+        # across every sampling/filtering configuration.
+        if parent is None and self._stack:
+            parent = self._stack[-1]
+        event_id = self._next_id
+        self._next_id = event_id + 1
+        entry = self._table.get(etype)
+        if entry is None:
+            entry = self._compile(etype)
+        if entry.filtered:
+            return event_id
+        due = True
+        if entry.has_sampled:
+            counter = entry.counter
+            counter[0] -= 1
+            if counter[0] <= 0:
+                counter[0] = entry.stride
+            else:
+                due = False
+        record = self.record
+        if not record and not entry.always:
+            # No unconditional listener: the event object is only
+            # needed if a sampled tick is due or a kind gate matches.
+            needed = due and entry.has_sampled
+            if not needed:
+                gate = entry.gate_suffixes
+                needed = (
+                    gate is not None
+                    and kind is not None
+                    and kind.endswith(gate)
+                )
+            if not needed:
+                return event_id
+        if record:
+            event = TraceEvent(
+                id=event_id,
+                parent_id=parent,
+                time=self.scheduler.now,
+                etype=etype,
+                scope=scope,
+                category=category,
+                src=src,
+                dst=dst,
+                kind=kind,
+                detail=detail,
+            )
+            self.events.append(event)
+        else:
+            pool = self._event_pool
+            if pool._outstanding is None:
+                # Inline Pool.acquire (debug off) -- see emit_gated.
+                free = pool._free
+                if free:
+                    event = free.pop()
+                    pool.reused += 1
+                else:
+                    event = _blank_event()
+                    pool.created += 1
+            else:
+                event = pool.acquire()
+            event.id = event_id
+            event.parent_id = parent
+            event.time = self.scheduler.now
+            event.etype = etype
+            event.scope = scope
+            event.category = category
+            event.src = src
+            event.dst = dst
+            event.kind = kind
+            event.detail = detail
+        for on_event, suffixes, sampled in entry.targets:
+            if sampled and not due:
+                continue
+            if suffixes is not None and (
+                kind is None or not kind.endswith(suffixes)
+            ):
+                continue
+            on_event(event)
+        if not record:
+            if pool._outstanding is None:
+                event.detail = None  # type: ignore[assignment]
+                pool.released += 1
+                free = pool._free
+                if len(free) < pool.capacity:
+                    free.append(event)
+            else:
+                pool.release(event)
         return event_id
 
     # -- offline path -------------------------------------------------
     def dispatch(self, event: TraceEvent) -> None:
-        """Feed one (recorded) event to the interested monitors."""
-        interested = self._by_etype.get(event.etype)
-        if interested:
-            for monitor in interested:
-                monitor.on_event(event)
-        for monitor in self._wildcard:
-            monitor.on_event(event)
+        """Feed one (recorded) event to the interested monitors.
+
+        Uses the same compiled table (gates, sampling strides, filters)
+        as the online path, so online and replayed runs of the same
+        hub configuration deliver the same event subsequence.
+        """
+        etype = event.etype
+        entry = self._table.get(etype)
+        if entry is None:
+            entry = self._compile(etype)
+        if entry.filtered:
+            return
+        due = True
+        if entry.has_sampled:
+            counter = entry.counter
+            counter[0] -= 1
+            if counter[0] <= 0:
+                counter[0] = entry.stride
+            else:
+                due = False
+        kind = event.kind
+        for on_event, suffixes, sampled in entry.targets:
+            if sampled and not due:
+                continue
+            if suffixes is not None and (
+                kind is None or not kind.endswith(suffixes)
+            ):
+                continue
+            on_event(event)
 
     # -- reporting ----------------------------------------------------
     def finalize(self, at: Optional[float] = None) -> None:
@@ -145,6 +476,7 @@ def replay_events(
     monitors: Sequence[Monitor],
     network=None,
     finalize: bool = True,
+    sample_rate: float = 1.0,
 ) -> MonitorHub:
     """Run ``monitors`` over a recorded event stream.
 
@@ -153,7 +485,7 @@ def replay_events(
     ground-truth checks (location-view membership, per-MSS load) run;
     without it those checks are skipped, never wrong.
     """
-    hub = MonitorHub(None, monitors, record=False)
+    hub = MonitorHub(None, monitors, record=False, sample_rate=sample_rate)
     if network is not None:
         hub.bind(network)
     last_time = 0.0

@@ -111,6 +111,14 @@ class TokenUniquenessMonitor(Monitor):
     name = "token-uniqueness"
     interests = ("token.arrive", "send.fixed", "send.local",
                  "rel.send", "r2.regenerate")
+    #: replicates the on_event early return for sends below: only
+    #: ``*.token`` sends matter, so the hub can skip dispatch (and on
+    #: the ``send.fixed`` hot path, event construction) for the rest.
+    kind_gates = {
+        "send.fixed": (".token",),
+        "send.local": (".token",),
+        "rel.send": (".token",),
+    }
 
     def __init__(self) -> None:
         super().__init__()
@@ -174,6 +182,9 @@ class RingFairnessMonitor(Monitor):
 
     name = "ring-fairness"
     interests = ("token.arrive", "cs.enter")
+    #: set-based and monotone: a thinned stream can only miss a double
+    #: service (or a variant announcement), never invent one.
+    samplable = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -315,6 +326,9 @@ class FifoOrderMonitor(Monitor):
 
     name = "fifo-order"
     interests = ("recv",)
+    #: any subsequence of a strictly increasing parent-id stream is
+    #: still strictly increasing, so sampling can only miss violations.
+    samplable = True
 
     _SKIP_KINDS = ("rel.data", "rel.ack")
 
@@ -363,6 +377,10 @@ class ReliableDeliveryMonitor(Monitor):
 
     name = "reliable-delivery"
     interests = ("rel.send", "recv")
+    #: a missed ``rel.send`` makes the matching release invisible (the
+    #: recv is ignored), and released seqs stay strictly increasing on
+    #: any subsequence -- misses only, never false positives.
+    samplable = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -508,6 +526,9 @@ class LocationViewMonitor(Monitor):
 
     name = "location-view"
     interests = ("lv.update",)
+    #: every check is self-contained per event (plus a ground-truth
+    #: finalize that reads the live network), so thinning is safe.
+    samplable = True
 
     def __init__(self, groups=()) -> None:
         super().__init__()

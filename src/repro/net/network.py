@@ -120,6 +120,30 @@ class Network:
         :class:`Network`).
         """
         self._trace_on = bool(getattr(self._trace, "enabled", True))
+        # Sampling hubs hand out per-etype skip gates (see
+        # MonitorHub.call_site_gate): the hot instrumentation points
+        # below resolve the sampling cadence inline and skip the whole
+        # emit call for events no monitor would see.  ``None`` (plain
+        # tracers, record mode, rate 1.0) means "always emit".
+        gate_for = getattr(self._trace, "call_site_gate", None)
+        if gate_for is not None and self._trace_on:
+            self._gate_send_fixed = gate_for("send.fixed")
+            self._gate_send_local = gate_for("send.local")
+            self._gate_recv = gate_for("recv")
+            self._gate_wireless_up = gate_for("send.wireless_up")
+            self._gate_wireless_down = gate_for("send.wireless_down")
+            self._gate_mss_handoff = gate_for("mss.handoff")
+            self._gate_search_begin = gate_for("search.begin")
+            self._gate_search_charge = gate_for("search.charge")
+        else:
+            self._gate_send_fixed = None
+            self._gate_send_local = None
+            self._gate_recv = None
+            self._gate_wireless_up = None
+            self._gate_wireless_down = None
+            self._gate_mss_handoff = None
+            self._gate_search_begin = None
+            self._gate_search_charge = None
         fixed = self.config.fixed_latency
         self._fixed_const = (
             fixed.value if isinstance(fixed, ConstantLatency) else None
@@ -132,14 +156,20 @@ class Network:
         # a fixed-network transmission (no tracer, no fault injector,
         # constant latency), bind the branch-free fast variant once
         # instead of re-deciding per message.
-        if (
-            self._trace_on
-            or self.faults is not None
-            or self._fixed_const is None
+        if not self._trace_on and self.faults is None and (
+            self._fixed_const is not None
         ):
-            self._send_fixed_raw = self._send_fixed_raw_general
-        else:
             self._send_fixed_raw = self._send_fixed_raw_fast
+        elif self._trace_on and self.faults is None and (
+            self._fixed_const is not None
+        ):
+            # Traced but unperturbed: same dead-branch elision as the
+            # fast variant (no injector means no MSS can be crashed and
+            # no drop/delay/duplicate decisions), keeping only the
+            # tracer gate in the loop.
+            self._send_fixed_raw = self._send_fixed_raw_traced
+        else:
+            self._send_fixed_raw = self._send_fixed_raw_general
 
     # ------------------------------------------------------------------
     # Registration and lookup
@@ -295,14 +325,44 @@ class Network:
         dst = self.mss(message.dst)
         if message.src == message.dst:
             if self._trace_on:
-                message.trace_id = self._trace.emit(
-                    "send.local",
-                    scope=message.scope,
-                    src=message.src,
-                    dst=message.dst,
-                    kind=message.kind,
-                )
-            self.scheduler.schedule(0.0, dst.handle_message, message)
+                gate = self._gate_send_local
+                if gate is None:
+                    message.trace_id = self._trace.emit(
+                        "send.local",
+                        scope=message.scope,
+                        src=message.src,
+                        dst=message.dst,
+                        kind=message.kind,
+                    )
+                else:
+                    counter, stride, suffixes = gate
+                    c = counter[0] - 1
+                    if c <= 0:
+                        counter[0] = stride
+                        message.trace_id = self._trace.emit_gated(
+                            "send.local",
+                            True,
+                            scope=message.scope,
+                            src=message.src,
+                            dst=message.dst,
+                            kind=message.kind,
+                        )
+                    else:
+                        counter[0] = c
+                        if suffixes and message.kind.endswith(suffixes):
+                            message.trace_id = self._trace.emit_gated(
+                                "send.local",
+                                False,
+                                scope=message.scope,
+                                src=message.src,
+                                dst=message.dst,
+                                kind=message.kind,
+                            )
+                        else:
+                            # Skipped: clear any stale id so it cannot
+                            # masquerade as this send's causal parent.
+                            message.trace_id = None
+            self.scheduler.post(0.0, dst.handle_message, message)
             return
         self.mss(message.src)  # validate the source exists
         if self.reliable is not None and not message.kind.startswith("rel."):
@@ -331,7 +391,60 @@ class Network:
         if previous is not None and previous > arrival:
             arrival = previous
         last[key] = arrival
-        self.scheduler.schedule_at(arrival, dst.handle_message, message)
+        self.scheduler.post_at(arrival, dst.handle_message, message)
+
+    def _send_fixed_raw_traced(self, message: Message) -> None:
+        """Monomorphic traced raw-send: tracer on, nothing perturbed.
+
+        Bound when a tracer is enabled but no fault injector is
+        installed and the fixed latency is constant.  Step-for-step
+        identical to :meth:`_send_fixed_raw_general` under those
+        preconditions (no MSS can be crashed without an injector, and
+        no drop/delay/duplicate decisions exist), so traces and event
+        timing are byte-identical -- only the dead branches are gone.
+        """
+        try:
+            dst = self._mss[message.dst]
+        except KeyError:
+            raise UnknownHostError(f"unknown MSS: {message.dst}") from None
+        self.metrics.record_fixed(message.scope)
+        gate = self._gate_send_fixed
+        if gate is None:
+            message.trace_id = self._trace.emit(
+                "send.fixed",
+                scope=message.scope,
+                category="fixed",
+                src=message.src,
+                dst=message.dst,
+                kind=message.kind,
+            )
+        else:
+            counter, stride, suffixes = gate
+            c = counter[0] - 1
+            due = c <= 0
+            counter[0] = stride if due else c
+            if due or (suffixes and message.kind.endswith(suffixes)):
+                message.trace_id = self._trace.emit_gated(
+                    "send.fixed",
+                    due,
+                    scope=message.scope,
+                    category="fixed",
+                    src=message.src,
+                    dst=message.dst,
+                    kind=message.kind,
+                )
+            else:
+                # Skipped: a stale id here would let FIFO / delivery
+                # monitors mis-parent later receives.
+                message.trace_id = None
+        key = (message.src, message.dst)
+        last = self._last_arrival
+        arrival = self.scheduler.now + self._fixed_const
+        previous = last.get(key)
+        if previous is not None and previous > arrival:
+            arrival = previous
+        last[key] = arrival
+        self.scheduler.post_at(arrival, dst.handle_message, message)
 
     def _send_fixed_raw_general(self, message: Message) -> None:
         """One physical transmission attempt on the fixed network.
@@ -341,18 +454,53 @@ class Network:
         or duplicated.  Without an injector this is the paper's reliable
         sequenced channel.
         """
-        dst = self.mss(message.dst)
+        try:
+            dst = self._mss[message.dst]
+        except KeyError:
+            raise UnknownHostError(f"unknown MSS: {message.dst}") from None
         self.metrics.record_fixed(message.scope)
         if self._trace_on:
-            message.trace_id = self._trace.emit(
-                "send.fixed",
-                scope=message.scope,
-                category="fixed",
-                src=message.src,
-                dst=message.dst,
-                kind=message.kind,
-            )
-        if self.mss(message.src).crashed:
+            gate = self._gate_send_fixed
+            if gate is None:
+                message.trace_id = self._trace.emit(
+                    "send.fixed",
+                    scope=message.scope,
+                    category="fixed",
+                    src=message.src,
+                    dst=message.dst,
+                    kind=message.kind,
+                )
+            else:
+                counter, stride, suffixes = gate
+                c = counter[0] - 1
+                if c <= 0:
+                    counter[0] = stride
+                    message.trace_id = self._trace.emit_gated(
+                        "send.fixed",
+                        True,
+                        scope=message.scope,
+                        category="fixed",
+                        src=message.src,
+                        dst=message.dst,
+                        kind=message.kind,
+                    )
+                else:
+                    counter[0] = c
+                    if suffixes and message.kind.endswith(suffixes):
+                        message.trace_id = self._trace.emit_gated(
+                            "send.fixed",
+                            False,
+                            scope=message.scope,
+                            category="fixed",
+                            src=message.src,
+                            dst=message.dst,
+                            kind=message.kind,
+                        )
+                    else:
+                        # Skipped: a stale id here would let FIFO /
+                        # delivery monitors mis-parent later receives.
+                        message.trace_id = None
+        if self._mss[message.src].crashed:
             # A crashed station transmits nothing; the message (already
             # charged) vanishes on the wire.
             self.metrics.record_fault("fixed.dropped_src_crashed")
@@ -399,14 +547,19 @@ class Network:
         latency = self._fixed_const
         if latency is None:
             latency = self.config.fixed_latency(self.rng)
-        arrival = self._fifo_arrival(
-            (message.src, message.dst), latency + extra_delay
-        )
-        self.scheduler.schedule_at(arrival, dst.handle_message, message)
+        # Inline _fifo_arrival (hot even when every emit is skipped).
+        key = (message.src, message.dst)
+        last = self._last_arrival
+        arrival = self.scheduler.now + latency + extra_delay
+        previous = last.get(key)
+        if previous is not None and previous > arrival:
+            arrival = previous
+        last[key] = arrival
+        self.scheduler.post_at(arrival, dst.handle_message, message)
         for _ in range(duplicates):
             # A duplicate is a spurious extra copy on the wire; it does
             # not advance the channel's FIFO frontier.
-            self.scheduler.schedule(
+            self.scheduler.post(
                 self.config.fixed_latency(self.rng) + extra_delay,
                 dst.handle_message,
                 message,
@@ -463,19 +616,40 @@ class Network:
         session = mh.session
         self.metrics.record_wireless_rx(mh_id, message.scope)
         if self._trace_on:
-            message.trace_id = self._trace.emit(
-                "send.wireless_down",
-                scope=message.scope,
-                category="wireless",
-                src=mss_id,
-                dst=mh_id,
-                kind=message.kind,
-            )
+            gate = self._gate_wireless_down
+            if gate is None:
+                message.trace_id = self._trace.emit(
+                    "send.wireless_down",
+                    scope=message.scope,
+                    category="wireless",
+                    src=mss_id,
+                    dst=mh_id,
+                    kind=message.kind,
+                )
+            else:
+                counter, stride, suffixes = gate
+                c = counter[0] - 1
+                due = c <= 0
+                counter[0] = stride if due else c
+                if due or (suffixes and message.kind.endswith(suffixes)):
+                    message.trace_id = self._trace.emit_gated(
+                        "send.wireless_down",
+                        due,
+                        scope=message.scope,
+                        category="wireless",
+                        src=mss_id,
+                        dst=mh_id,
+                        kind=message.kind,
+                    )
+                else:
+                    # Skipped: clear any stale id so the downlink's
+                    # receive cannot mis-parent to an older send.
+                    message.trace_id = None
         latency = self._wireless_const
         if latency is None:
             latency = self.config.wireless_latency(self.rng)
         arrival = self._fifo_arrival(key, latency)
-        self.scheduler.schedule_at(
+        self.scheduler.post_at(
             arrival,
             self._deliver_downlink,
             mss_id,
@@ -536,19 +710,38 @@ class Network:
         message.dst = mss.host_id
         self.metrics.record_wireless_tx(mh_id, message.scope)
         if self._trace_on:
-            message.trace_id = self._trace.emit(
-                "send.wireless_up",
-                scope=message.scope,
-                category="wireless",
-                src=mh_id,
-                dst=mss.host_id,
-                kind=message.kind,
-            )
+            gate = self._gate_wireless_up
+            if gate is None:
+                message.trace_id = self._trace.emit(
+                    "send.wireless_up",
+                    scope=message.scope,
+                    category="wireless",
+                    src=mh_id,
+                    dst=mss.host_id,
+                    kind=message.kind,
+                )
+            else:
+                counter, stride, suffixes = gate
+                c = counter[0] - 1
+                due = c <= 0
+                counter[0] = stride if due else c
+                if due or (suffixes and message.kind.endswith(suffixes)):
+                    message.trace_id = self._trace.emit_gated(
+                        "send.wireless_up",
+                        due,
+                        scope=message.scope,
+                        category="wireless",
+                        src=mh_id,
+                        dst=mss.host_id,
+                        kind=message.kind,
+                    )
+                else:
+                    message.trace_id = None
         latency = self._wireless_const
         if latency is None:
             latency = self.config.wireless_latency(self.rng)
         arrival = self._fifo_arrival((mh_id, mss.host_id), latency)
-        self.scheduler.schedule_at(arrival, mss.handle_message, message)
+        self.scheduler.post_at(arrival, mss.handle_message, message)
 
     # ------------------------------------------------------------------
     # Reliable MH delivery: locate, forward, retry across moves
@@ -640,7 +833,7 @@ class Network:
             if mh_id not in dst.local_mhs:
                 # The MH moved between search resolution and forward;
                 # retry from the located MSS with a fresh search.
-                self.scheduler.schedule(
+                self.scheduler.post(
                     self.config.search_retry_delay,
                     self.send_to_mh,
                     dst_mss_id,
@@ -662,15 +855,39 @@ class Network:
                 on_delivered=on_delivered,
             )
 
-        if self._trace_on:
-            begin_id = self._trace.emit(
-                "search.begin",
-                scope=message.scope,
-                src=src_mss_id,
-                dst=mh_id,
-                kind=message.kind,
-                attempt=_attempts,
-            )
+        traced = self._trace_on
+        if traced:
+            gate = self._gate_search_begin
+            if gate is not None:
+                counter = gate[0]
+                c = counter[0] - 1
+                due = c <= 0
+                counter[0] = gate[1] if due else c
+                # A skipped search drops the whole trace apparatus --
+                # the result closure, both context pushes -- not just
+                # the begin event (they only exist for its lineage).
+                traced = due
+        if traced:
+            gate = self._gate_search_begin
+            if gate is not None:
+                begin_id = self._trace.emit_gated(
+                    "search.begin",
+                    True,
+                    scope=message.scope,
+                    src=src_mss_id,
+                    dst=mh_id,
+                    kind=message.kind,
+                    attempt=_attempts,
+                )
+            else:
+                begin_id = self._trace.emit(
+                    "search.begin",
+                    scope=message.scope,
+                    src=src_mss_id,
+                    dst=mh_id,
+                    kind=message.kind,
+                    attempt=_attempts,
+                )
             inner_outcome = on_outcome
 
             def on_outcome(outcome: SearchOutcome) -> None:

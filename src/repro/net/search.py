@@ -125,13 +125,29 @@ class AbstractSearch(SearchProtocol):
     ) -> None:
         network.metrics.record_search(scope)
         if network._trace_on:
-            network._trace.emit(
-                "search.charge",
-                scope=scope,
-                category="search",
-                src=src_mss_id,
-                dst=mh_id,
-            )
+            gate = network._gate_search_charge
+            if gate is not None:
+                counter = gate[0]
+                c = counter[0] - 1
+                due = c <= 0
+                counter[0] = gate[1] if due else c
+                if due:
+                    network._trace.emit_gated(
+                        "search.charge",
+                        True,
+                        scope=scope,
+                        category="search",
+                        src=src_mss_id,
+                        dst=mh_id,
+                    )
+            else:
+                network._trace.emit(
+                    "search.charge",
+                    scope=scope,
+                    category="search",
+                    src=src_mss_id,
+                    dst=mh_id,
+                )
         self._resolve(network, mh_id, callback, first_attempt=True)
 
     def _resolve(

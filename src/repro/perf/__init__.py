@@ -9,6 +9,7 @@ Keeps the reproduction's substrate speed from eroding (ROADMAP perf arc).
 """
 
 from repro.perf.harness import (
+    SCHEMA,
     Delta,
     ScenarioResult,
     calibrate,
@@ -26,6 +27,7 @@ from repro.perf.scenarios import SCENARIOS, Scenario, scenario_names
 __all__ = [
     "Delta",
     "SCENARIOS",
+    "SCHEMA",
     "Scenario",
     "ScenarioResult",
     "calibrate",

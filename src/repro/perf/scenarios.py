@@ -27,7 +27,7 @@ from repro.mobility import UniformMobility
 from repro.mutex import CriticalResource, L2Mutex
 from repro.net import ConstantLatency, NetworkConfig
 from repro.net.messages import Message
-from repro.sim import PoissonProcess, Scheduler
+from repro.sim import PoissonProcess, Scheduler, make_scheduler
 from repro.workload import MutexWorkload
 
 #: cost model shared by every scenario (same as ``benchmarks/conftest``).
@@ -51,7 +51,8 @@ def _make_sim(n_mss: int, n_mh: int, seed: int, **kwargs) -> Simulation:
 
 def loaded_system(n_mss: int, n_mh: int, duration: float = 150.0,
                   request_rate: float = 0.05, move_rate: float = 0.02,
-                  monitors=None) -> int:
+                  monitors=None, scheduler: str = "heap",
+                  monitor_sampling=None) -> int:
     """The ``bench_scale.py`` workload: L2 mutex traffic plus mobility.
 
     This is the harness's headline scenario (at M=10, N=200): a system
@@ -62,7 +63,8 @@ def loaded_system(n_mss: int, n_mh: int, duration: float = 150.0,
     (which must not change the event count -- only the wall time), so
     the harness prices the monitoring overhead directly.
     """
-    sim = _make_sim(n_mss, n_mh, seed=3, monitors=monitors)
+    sim = _make_sim(n_mss, n_mh, seed=3, monitors=monitors,
+                    scheduler=scheduler, monitor_sampling=monitor_sampling)
     resource = CriticalResource(sim.scheduler)
     mutex = L2Mutex(sim.network, resource, cs_duration=0.3)
     workload = MutexWorkload(sim.network, mutex, sim.mh_ids,
@@ -255,6 +257,33 @@ def cancel_storm(n_events: int = 400_000) -> int:
     return sched.events_processed
 
 
+def scheduler_density(n_pending: int = 20_000, n_events: int = 300_000,
+                      scheduler: str = "heap") -> int:
+    """Pure scheduler throughput at high event density.
+
+    Holds ``n_pending`` events in the queue at all times (every fired
+    event posts a replacement at a deterministic pseudo-random offset)
+    and fires ``n_events`` of them.  This is the regime ROADMAP item 3
+    targets: the binary heap pays O(log n_pending) C-level sift
+    comparisons per operation, while the calendar queue's bucket scan
+    stays O(1) amortized -- run under both kinds to price the gap.
+    """
+    sched = make_scheduler(scheduler)
+    rng = random.Random(101)
+    uniform = rng.random
+    post = sched.post
+
+    def fire() -> None:
+        post(uniform() * 100.0 + 0.001, fire)
+
+    for _ in range(n_pending):
+        post(uniform() * 100.0, fire)
+    sched.run(max_events=n_events)
+    if sched.events_processed != n_events:  # pragma: no cover - guard
+        raise AssertionError("scheduler_density drained early")
+    return sched.events_processed
+
+
 @dataclass(frozen=True)
 class Scenario:
     """One named, deterministic perf workload.
@@ -319,6 +348,60 @@ _register(Scenario(
     run=lambda: loaded_system(6, 40, 2000.0, monitors=True),
     smoke=True,
     tags=("mutex", "mobility", "monitor", "smoke"),
+))
+_register(Scenario(
+    name="smoke_calendar",
+    description="the smoke_mutex workload on the calendar-queue "
+                "scheduler (byte-identical event stream)",
+    run=lambda: loaded_system(6, 40, 2000.0, scheduler="calendar"),
+    smoke=True,
+    tags=("mutex", "mobility", "scheduler", "smoke"),
+))
+_register(Scenario(
+    name="smoke_monitors_sampled",
+    description="the smoke_monitors workload with monitor sampling at "
+                "the default rate (prices sampled observability)",
+    run=lambda: loaded_system(6, 40, 2000.0, monitors=True,
+                              monitor_sampling=True),
+    smoke=True,
+    tags=("mutex", "mobility", "monitor", "smoke"),
+))
+_register(Scenario(
+    name="smoke_full_stack",
+    description="the smoke_monitors workload with the whole perf stack "
+                "on at once: calendar queue, free-list pools, sampled "
+                "monitors (the BENCH_8 headline)",
+    run=lambda: loaded_system(6, 40, 2000.0, monitors=True,
+                              monitor_sampling=True,
+                              scheduler="calendar"),
+    smoke=True,
+    tags=("mutex", "monitor", "scheduler", "smoke"),
+))
+_register(Scenario(
+    name="smoke_pooled",
+    description="the smoke_mutex workload under the event/envelope "
+                "free-list pools' retained-allocation gate",
+    run=lambda: loaded_system(6, 40, 2000.0),
+    smoke=True,
+    tags=("mutex", "pool", "smoke"),
+    # The pools bound their free lists (scheduler events 4096, trace
+    # events 64, rel acks 256), so steady-state retention must stay
+    # tiny relative to the ~500k events this workload fires.
+    max_retained_blocks_per_kevent=500.0,
+))
+_register(Scenario(
+    name="sched_density_heap",
+    description="pure scheduler at 20k pending events, binary heap",
+    run=lambda: scheduler_density(20_000, 300_000, "heap"),
+    smoke=True,
+    tags=("scheduler", "smoke"),
+))
+_register(Scenario(
+    name="sched_density_calendar",
+    description="pure scheduler at 20k pending events, calendar queue",
+    run=lambda: scheduler_density(20_000, 300_000, "calendar"),
+    smoke=True,
+    tags=("scheduler", "smoke"),
 ))
 _register(Scenario(
     name="smoke_scale",

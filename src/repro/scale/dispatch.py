@@ -63,15 +63,15 @@ def dispatch_coalesced(
         return 0
     if len(ops) <= max_batches:
         for delay, callback, args in ops:
-            scheduler.schedule(delay, callback, *args)
+            scheduler.post(delay, callback, *args)
         return len(ops)
     max_delay = max(op[0] for op in ops)
     if max_delay <= 0.0:
-        scheduler.schedule(0.0, _run_batch, ops)
+        scheduler.post(0.0, _run_batch, ops)
         return 1
     if max_batches == 1:
         # Never early: the lone batch fires once every delay has passed.
-        scheduler.schedule(max_delay, _run_batch, ops)
+        scheduler.post(max_delay, _run_batch, ops)
         return 1
     # Slot 0 holds exactly delay-zero ops, so the positive delays get
     # max_batches - 1 grid steps; ceil keeps every op at-or-after its
@@ -88,5 +88,5 @@ def dispatch_coalesced(
             buckets[slot] = bucket = []
         bucket.append(op)
     for slot, batch in sorted(buckets.items()):
-        scheduler.schedule(slot * grid, _run_batch, batch)
+        scheduler.post(slot * grid, _run_batch, batch)
     return len(buckets)

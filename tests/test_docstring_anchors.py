@@ -40,3 +40,24 @@ def test_checker_flags_a_bare_module(tmp_path):
     assert "bare.py" in proc.stdout
     assert "naked.py" in proc.stdout
     assert "anchored.py" not in proc.stdout
+
+
+def test_perf_critical_modules_are_pinned_in_the_checker():
+    """The calendar scheduler, the object pools, the monitor hub and
+    the perf workloads are named in REQUIRED_MODULES: moving one
+    without updating the lint fails the docs job."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "check_docstrings",
+        os.path.join(REPO, "tools", "check_docstrings.py"),
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    required = {os.path.basename(m) for m in mod.REQUIRED_MODULES}
+    assert "scheduler.py" in required
+    assert "hub.py" in required
+    assert "scenarios.py" in required
+    assert any(m.startswith("pool") for m in mod.REQUIRED_MODULES)
+    for suffix in mod.REQUIRED_MODULES:
+        assert os.path.exists(os.path.join(REPO, "src", "repro", suffix))

@@ -1,0 +1,345 @@
+"""Calendar-queue scheduler tests: ordering parity with the heap,
+resize boundaries, cancellation, and lazy-cancel compaction bounds."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import SCHEDULER_KINDS, CalendarScheduler, Scheduler, make_scheduler
+
+
+def test_make_scheduler_kinds():
+    assert isinstance(make_scheduler("heap"), Scheduler)
+    assert isinstance(make_scheduler("calendar"), CalendarScheduler)
+    with pytest.raises(ConfigurationError):
+        make_scheduler("splay")
+
+
+def test_scheduler_kinds_constant():
+    assert SCHEDULER_KINDS == ("heap", "calendar")
+
+
+def test_calendar_rejects_bad_geometry():
+    with pytest.raises(ConfigurationError):
+        CalendarScheduler(n_buckets=0)
+    with pytest.raises(ConfigurationError):
+        CalendarScheduler(width=0.0)
+    with pytest.raises(ConfigurationError):
+        CalendarScheduler(width=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Heap/calendar parity: identical firing order, including (time, seq) ties
+# ---------------------------------------------------------------------------
+
+
+def _firing_order(sched, posts):
+    fired = []
+    for time, label in posts:
+        sched.post_at(time, fired.append, label)
+    sched.run()
+    return fired
+
+
+def test_same_time_seq_order_matches_heap():
+    """Ties at the same time break by insertion order on both kinds."""
+    rng = random.Random(7)
+    posts = []
+    for i in range(500):
+        # Coarse time grid forces many exact ties.
+        posts.append((float(rng.randrange(20)), i))
+    heap_order = _firing_order(Scheduler(), list(posts))
+    cal_order = _firing_order(CalendarScheduler(), list(posts))
+    assert heap_order == cal_order
+    # And ties really are insertion-ordered.
+    by_time = {}
+    for time, label in posts:
+        by_time.setdefault(time, []).append(label)
+    fired_by_time = {}
+    for label in heap_order:
+        fired_by_time.setdefault(posts[label][0], []).append(label)
+    for time, labels in by_time.items():
+        assert fired_by_time[time] == labels
+
+
+@pytest.mark.parametrize("kind", SCHEDULER_KINDS)
+def test_random_workload_fires_sorted(kind):
+    rng = random.Random(42)
+    sched = make_scheduler(kind)
+    fired = []
+    for i in range(2000):
+        sched.post_at(rng.random() * 1000.0, fired.append, i)
+    sched.run()
+    assert len(fired) == 2000
+    assert sched.pending_count == 0
+
+
+def test_self_scheduling_workload_identical_across_kinds():
+    """A dynamic workload (callbacks post new events) is step-for-step
+    identical: same seq stream, same firing order, same final clock."""
+
+    def drive(sched):
+        rng = random.Random(99)
+        trail = []
+
+        def fire(label):
+            trail.append((sched.now, label))
+            if label < 3000:
+                sched.post_at(
+                    sched.now + rng.random() * 5.0, fire, label + 7
+                )
+
+        for i in range(40):
+            sched.post_at(rng.random() * 3.0, fire, i)
+        sched.run(max_events=5000)
+        return trail, sched.now
+
+    heap_trail, heap_now = drive(Scheduler())
+    cal_trail, cal_now = drive(CalendarScheduler())
+    assert heap_trail == cal_trail
+    assert heap_now == cal_now
+
+
+# ---------------------------------------------------------------------------
+# Cancellation
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", SCHEDULER_KINDS)
+def test_cancel_minimum_event(kind):
+    """Cancelling the queue head must not fire it nor disturb the rest."""
+    sched = make_scheduler(kind)
+    fired = []
+    head = sched.schedule_at(1.0, fired.append, "head")
+    sched.schedule_at(2.0, fired.append, "second")
+    sched.schedule_at(3.0, fired.append, "third")
+    head.cancel()
+    sched.run()
+    assert fired == ["second", "third"]
+    assert sched.now == 3.0
+    assert sched.pending_count == 0
+
+
+@pytest.mark.parametrize("kind", SCHEDULER_KINDS)
+def test_cancel_all_then_run_is_noop(kind):
+    sched = make_scheduler(kind)
+    fired = []
+    handles = [sched.schedule_at(float(i), fired.append, i) for i in range(10)]
+    for handle in handles:
+        handle.cancel()
+    assert sched.run() == 0
+    assert fired == []
+    assert sched.pending_count == 0
+
+
+@pytest.mark.parametrize("kind", SCHEDULER_KINDS)
+def test_random_cancels_match_across_kinds(kind):
+    rng = random.Random(5)
+    sched = make_scheduler(kind)
+    fired = []
+    handles = [
+        sched.schedule_at(rng.random() * 50.0, fired.append, i)
+        for i in range(400)
+    ]
+    cancelled = set()
+    for i in rng.sample(range(400), 150):
+        handles[i].cancel()
+        cancelled.add(i)
+    sched.run()
+    assert set(fired) == set(range(400)) - cancelled
+    assert sched.pending_count == 0
+
+
+# ---------------------------------------------------------------------------
+# Lazy-cancel compaction: retained entries stay bounded
+# ---------------------------------------------------------------------------
+
+
+def _interleaved_burst(sched, base, n=1000):
+    """Schedule ``n`` entries, then cancel every other one."""
+    handles = [
+        sched.schedule_at(base + i * 1e-6, lambda: None) for i in range(n)
+    ]
+    for handle in handles[::2]:
+        handle.cancel()
+
+
+@pytest.mark.parametrize("kind", SCHEDULER_KINDS)
+def test_compaction_fires_at_exactly_half_cancelled(kind):
+    """Regression: interleaved cancellation parks the cancelled fraction
+    at *exactly* 1/2 (each burst schedules N and cancels N/2, so the
+    counter can reach but never exceed half).  A strictly-greater
+    trigger never fires on that pattern and the queue retains one dead
+    entry per live one forever; the at-least-half trigger reclaims them.
+    """
+    sched = make_scheduler(kind)
+    _interleaved_burst(sched, 1000.0)
+    assert sched.pending_count == 500
+    size = len(sched._heap) if kind == "heap" else sched._n_entries
+    # Without the fix: 1000 retained (500 live + 500 cancelled, parked
+    # at exactly half).  With it: the final cancel reaches the at-least-
+    # half trigger and the burst's garbage is dropped on the spot.
+    assert size <= 500 + 2 * sched._COMPACT_MIN
+    sched.run()
+    assert sched.pending_count == 0
+
+
+@pytest.mark.parametrize("kind", SCHEDULER_KINDS)
+def test_compaction_bounds_garbage_across_many_bursts(kind):
+    """Long-run invariant: retained cancelled entries never exceed the
+    live population (plus the small-heap floor), no matter how many
+    bursty cancellation rounds run."""
+    sched = make_scheduler(kind)
+    for round_no in range(40):
+        _interleaved_burst(sched, 1000.0 * (round_no + 1), n=100)
+        live = sched.pending_count
+        size = len(sched._heap) if kind == "heap" else sched._n_entries
+        assert size - live <= live + 2 * sched._COMPACT_MIN
+    assert sched.pending_count == 2000
+    sched.run()
+    assert sched.pending_count == 0
+
+
+def test_compaction_during_run_from_live_pops():
+    """Cancellations whose fraction crosses 1/2 only because live events
+    popped (no further cancel() calls) are still reclaimed by the run
+    loop's own compaction check."""
+    sched = Scheduler()
+    for i in range(300):
+        sched.schedule_at(float(i), lambda: None)
+    far = [sched.schedule_at(10_000.0 + i, lambda: None) for i in range(200)]
+    for handle in far:
+        handle.cancel()
+    # 200 cancelled of 500: under half, _note_cancel does not compact.
+    assert len(sched._heap) == 500
+    sched.run(until=299.0)
+    # All 300 live entries fired; the run loop must have compacted the
+    # 200 cancelled stragglers rather than retaining them indefinitely.
+    assert sched.pending_count == 0
+    assert len(sched._heap) <= 2 * sched._COMPACT_MIN
+
+
+# ---------------------------------------------------------------------------
+# Calendar resize boundaries
+# ---------------------------------------------------------------------------
+
+
+def test_calendar_grows_buckets_under_load():
+    sched = CalendarScheduler()
+    assert sched._n_buckets == CalendarScheduler._MIN_BUCKETS
+    rng = random.Random(3)
+    for i in range(5000):
+        sched.post_at(rng.random() * 100.0, lambda: None)
+    assert sched._n_buckets > CalendarScheduler._MIN_BUCKETS
+    assert sched._n_entries == 5000
+    assert sched.run() == 5000
+
+
+def test_calendar_resize_boundary_crossing():
+    """Events scheduled exactly at and around a resize keep firing in
+    sorted order: the doubling threshold is entries > 2 * n_buckets."""
+    sched = CalendarScheduler()
+    fired = []
+    # 16 buckets initially -> first resize on the 33rd entry.
+    n_trigger = 2 * sched._n_buckets + 1
+    for i in range(n_trigger - 1):
+        sched.post_at(10.0 + i * 0.25, fired.append, i)
+    before = sched._n_buckets
+    sched.post_at(5.0, fired.append, "early")  # crosses the threshold
+    assert sched._n_buckets == 2 * before
+    sched.post_at(1.0, fired.append, "earliest")  # lands post-resize
+    sched.run()
+    assert fired[0] == "earliest"
+    assert fired[1] == "early"
+    assert fired[2:] == list(range(n_trigger - 1))
+
+
+def test_calendar_shrinks_after_mass_cancellation():
+    sched = CalendarScheduler()
+    handles = [
+        sched.schedule_at(float(i) * 0.5, lambda: None) for i in range(4096)
+    ]
+    grown = sched._n_buckets
+    assert grown > CalendarScheduler._MIN_BUCKETS
+    for handle in handles:
+        handle.cancel()
+    # Compaction piggybacked on cancel bookkeeping; emptying the queue
+    # must also have shrunk the bucket array.
+    assert sched.pending_count == 0
+    assert sched._n_buckets < grown
+
+
+def test_calendar_fixed_width_never_retunes():
+    sched = CalendarScheduler(width=2.0)
+    for i in range(200):
+        sched.post_at(float(i), lambda: None)
+    assert sched._width == 2.0
+    sched.run()
+    assert sched._width == 2.0
+
+
+def test_calendar_far_future_events_fall_back_to_direct_scan():
+    """Events many laps ahead of now (beyond n_buckets days) are found
+    via the full-lap fallback, in order."""
+    sched = CalendarScheduler(width=1.0, n_buckets=4)
+    fired = []
+    sched.post_at(1e6, fired.append, "far")
+    sched.post_at(2e6, fired.append, "farther")
+    sched.post_at(0.5, fired.append, "near")
+    sched.run()
+    assert fired == ["near", "far", "farther"]
+
+
+# ---------------------------------------------------------------------------
+# Empty-queue behaviour
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", SCHEDULER_KINDS)
+def test_empty_queue_drain(kind):
+    sched = make_scheduler(kind)
+    assert sched.drain() == 0
+    assert sched.pending_count == 0
+    assert sched.now == 0.0
+    assert sched.step() is False
+
+
+@pytest.mark.parametrize("kind", SCHEDULER_KINDS)
+def test_run_until_on_empty_queue_advances_clock(kind):
+    sched = make_scheduler(kind)
+    sched.run(until=12.5)
+    assert sched.now == 12.5
+    # Queue drained mid-run: later events still fire on a fresh run.
+    fired = []
+    sched.schedule(1.0, fired.append, "x")
+    sched.run()
+    assert fired == ["x"]
+    assert sched.now == 13.5
+
+
+@pytest.mark.parametrize("kind", SCHEDULER_KINDS)
+def test_pool_recycles_fire_and_forget_events(kind):
+    sched = make_scheduler(kind)
+    for _ in range(3):
+        for i in range(100):
+            sched.post_at(sched.now + 1.0 + i * 0.01, lambda: None)
+        sched.run()
+    stats = sched.pool_stats
+    assert stats is not None
+    # After warmup, posts are served from the free list, not malloc.
+    assert stats["reused"] > 0
+    assert stats["created"] <= 100
+    assert stats["released"] == stats["created"] + stats["reused"]
+
+
+@pytest.mark.parametrize("kind", SCHEDULER_KINDS)
+def test_pooling_off_allocates_fresh_events(kind):
+    sched = make_scheduler(kind, pooling=False)
+    fired = []
+    sched.post_at(1.0, fired.append, "a")
+    sched.run()
+    assert fired == ["a"]
+    assert sched.pool_stats is None

@@ -24,6 +24,16 @@ ANCHOR_RE = re.compile(
     r"(Section\s*\d|ROADMAP|paper|ICDCS|\[\d+\])", re.IGNORECASE
 )
 
+#: modules the perf arc leans on hardest; the walk must find and pass
+#: every one of these, so a rename or move cannot silently drop the
+#: calendar scheduler or the object pools out of the lint.
+REQUIRED_MODULES = (
+    os.path.join("pool", "__init__.py"),      # free-list object pools
+    os.path.join("sim", "scheduler.py"),      # heap + calendar queue
+    os.path.join("monitor", "hub.py"),        # sampled monitor dispatch
+    os.path.join("perf", "scenarios.py"),     # BENCH workloads
+)
+
 
 def iter_modules(root: str):
     for dirpath, _dirnames, filenames in os.walk(root):
@@ -55,11 +65,20 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     problems = []
     checked = 0
+    seen = set()
     for path in iter_modules(args.root):
         checked += 1
+        seen.add(path)
         problem = check_module(path)
         if problem:
             problems.append((path, problem))
+    if os.path.normpath(args.root) == os.path.join("src", "repro"):
+        for suffix in REQUIRED_MODULES:
+            if not any(path.endswith(suffix) for path in seen):
+                problems.append((
+                    os.path.join(args.root, suffix),
+                    "required module not found by the walk",
+                ))
     for path, problem in problems:
         print(f"{path}: {problem}")
     print(f"checked {checked} modules: {len(problems)} unanchored")

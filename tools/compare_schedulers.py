@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""CI gate: the calendar scheduler must match the heap byte-for-byte
+and must not slow the default heap path down.
+
+Two checks (docs/performance.md, "Choosing a scheduler"):
+
+1. **Byte identity** -- every canonical trace scenario, and the whole
+   certified chaos pack at one sweep seed, produce identical digests
+   under ``scheduler="heap"`` and ``scheduler="calendar"`` (full event
+   streams for the trace scenarios, full reports for the pack).
+2. **Perf parity** -- the smoke workloads run under both schedulers,
+   interleaved in one process (best-of-``--repeats`` each) so machine
+   noise hits both sides equally; the run fails when the heap path is
+   more than ``--max-regression`` slower than the calendar path, which
+   is the symptom of the shared run loop losing a heap fast path.
+
+    PYTHONPATH=src python tools/compare_schedulers.py --repeats 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                 "src"),
+)
+
+from repro.facade import Simulation  # noqa: E402
+from repro.perf.scenarios import loaded_system, scheduler_density  # noqa: E402
+
+#: workloads timed under both schedulers (name, kwargs for the driver).
+PERF_PAIRS = [
+    ("smoke_mutex", lambda kind: loaded_system(
+        6, 40, 2000.0, scheduler=kind)),
+    ("sched_density", lambda kind: scheduler_density(
+        20_000, 300_000, kind)),
+]
+
+
+def _event_stream_digest(events) -> str:
+    h = hashlib.sha256()
+    for ev in events:
+        h.update(json.dumps(
+            [ev.id, ev.parent_id, ev.time, ev.etype, ev.scope,
+             ev.category, ev.src, ev.dst, ev.kind,
+             sorted(ev.detail.items())],
+            sort_keys=True, default=repr).encode())
+    return h.hexdigest()
+
+
+def check_canonical_identity() -> list:
+    """Digest mismatches across the canonical trace scenarios."""
+    import repro.trace.scenarios as trace_scenarios
+
+    mismatches = []
+    original = trace_scenarios.Simulation
+    for name in sorted(trace_scenarios.SCENARIOS):
+        digests = {}
+        for kind in ("heap", "calendar"):
+            trace_scenarios.Simulation = (
+                lambda *a, **kw: original(*a, scheduler=kind, **kw)
+            )
+            try:
+                run = trace_scenarios.run_scenario(name)
+            finally:
+                trace_scenarios.Simulation = original
+            digests[kind] = (
+                len(run.events),
+                run.sim.now,
+                _event_stream_digest(run.events),
+            )
+        if digests["heap"] != digests["calendar"]:
+            mismatches.append((name, digests))
+    return mismatches
+
+
+def check_pack_identity(seed: int) -> list:
+    """Report-digest mismatches across the certified chaos pack."""
+    import repro.scenario.runner as runner_mod
+    from repro.scenario import builtin_registry, run_scenario
+
+    def report_digest(spec):
+        report = dict(run_scenario(spec, seed=seed).report)
+        report.pop("wall_time_s")
+        return hashlib.sha256(json.dumps(
+            report, sort_keys=True, default=repr).encode()).hexdigest()
+
+    mismatches = []
+    registry = builtin_registry()
+    original = runner_mod.Simulation
+    for name in sorted(registry.names()):
+        baseline = report_digest(registry.get(name))
+        runner_mod.Simulation = (
+            lambda *a, **kw: original(*a, scheduler="calendar", **kw)
+        )
+        try:
+            other = report_digest(registry.get(name))
+        finally:
+            runner_mod.Simulation = original
+        if other != baseline:
+            mismatches.append(name)
+    return mismatches
+
+
+def run_perf_pairs(repeats: int):
+    """Best-of-``repeats`` interleaved timings, heap vs calendar."""
+    results = []
+    for name, driver in PERF_PAIRS:
+        best = {"heap": float("inf"), "calendar": float("inf")}
+        events = 0
+        for _ in range(repeats):
+            for kind in ("heap", "calendar"):
+                start = time.perf_counter()
+                events = driver(kind)
+                elapsed = time.perf_counter() - start
+                if elapsed < best[kind]:
+                    best[kind] = elapsed
+        results.append((name, events, best))
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="compare_schedulers",
+        description="byte-identity and perf parity of heap vs "
+                    "calendar scheduling",
+    )
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="interleaved repeats per workload "
+                             "(default 3)")
+    parser.add_argument("--max-regression", type=float, default=0.05,
+                        help="tolerated fractional slowdown of the "
+                             "heap path vs the calendar path "
+                             "(default 0.05)")
+    parser.add_argument("--pack-seed", type=int, default=7,
+                        help="chaos-pack sweep seed for the identity "
+                             "check (default 7)")
+    parser.add_argument("--skip-perf", action="store_true",
+                        help="only run the byte-identity checks")
+    args = parser.parse_args(argv)
+
+    failed = False
+
+    mismatches = check_canonical_identity()
+    print(f"canonical scenarios: "
+          f"{'OK' if not mismatches else 'DIGEST MISMATCH'}")
+    for name, digests in mismatches:
+        failed = True
+        print(f"  {name}: heap {digests['heap']} != "
+              f"calendar {digests['calendar']}")
+
+    pack_mismatches = check_pack_identity(args.pack_seed)
+    print(f"chaos pack (seed {args.pack_seed}): "
+          f"{'OK' if not pack_mismatches else 'DIGEST MISMATCH'}")
+    for name in pack_mismatches:
+        failed = True
+        print(f"  {name}: report diverged under the calendar scheduler")
+
+    if not args.skip_perf:
+        header = (f"{'workload':<16}{'events':>9}{'heap ev/s':>12}"
+                  f"{'calendar ev/s':>15}{'heap/cal':>10}")
+        print()
+        print(header)
+        print("-" * len(header))
+        floor = 1.0 - args.max_regression
+        for name, events, best in run_perf_pairs(args.repeats):
+            heap_eps = events / best["heap"]
+            cal_eps = events / best["calendar"]
+            ratio = heap_eps / cal_eps
+            flag = ""
+            if ratio < floor:
+                failed = True
+                flag = f"  HEAP REGRESSION (floor {floor:.2f})"
+            print(f"{name:<16}{events:>9}{heap_eps:>12.0f}"
+                  f"{cal_eps:>15.0f}{ratio:>10.2f}{flag}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
