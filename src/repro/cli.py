@@ -269,6 +269,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="soft cap on promoted hosts "
                             "(default 1024)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run a monitored soak workload and serve live telemetry "
+             "over HTTP (/metrics, /health, /invariants)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default loopback)")
+    serve.add_argument("--port", type=int, default=8077,
+                       help="TCP port; 0 picks a free one")
+    serve.add_argument("--n-mss", type=int, default=6)
+    serve.add_argument("--n-mh", type=int, default=40)
+    serve.add_argument("--seed", type=int, default=3)
+    serve.add_argument("--duration", type=float, default=0.0,
+                       help="simulated time to run; 0 means soak "
+                            "until interrupted")
+    serve.add_argument("--quantum", type=float, default=50.0,
+                       help="sim-time advanced per serve-loop step; "
+                            "the ledger drains between steps so "
+                            "scrapes stay fresh")
+    serve.add_argument("--request-rate", type=float, default=0.05,
+                       help="mutex requests per MH per time unit")
+    serve.add_argument("--move-rate", type=float, default=0.02,
+                       help="moves per MH per time unit")
+    serve.add_argument("--linger", type=float, default=0.0,
+                       help="wall-clock seconds to keep serving after "
+                            "a bounded --duration run completes")
+    serve.add_argument("--monitor-mode", default="batched",
+                       choices=["event", "batched"],
+                       help="monitor dispatch strategy (default "
+                            "batched; see docs/observability.md)")
+
     perf = sub.add_parser(
         "perf",
         help="measure events/sec on the curated perf scenarios",
@@ -977,6 +1008,70 @@ def _run_scale(args, emit) -> int:
     return 0
 
 
+def _run_serve(args, emit) -> int:
+    """Soak a monitored workload while serving live telemetry.
+
+    The event loop advances in ``--quantum`` sim-time steps and drains
+    the observability ledger between steps, so ``/metrics`` and
+    ``/invariants`` always reflect a recently certified prefix of the
+    run (``repro_obs_certified_until``).  Memory stays bounded: the
+    hub runs with ``record=False`` so drained rows are dropped after
+    replay.
+    """
+    import time as _time
+
+    from repro.obs import TelemetryServer, instrument_network
+    from repro.workload import MutexWorkload as _MutexWorkload
+
+    sim = Simulation(
+        n_mss=args.n_mss,
+        n_mh=args.n_mh,
+        seed=args.seed,
+        monitors=True,
+        monitor_mode=args.monitor_mode,
+    )
+    instrument_network(sim.network, sim.monitor_hub.timers)
+    resource = CriticalResource(sim.scheduler)
+    mutex = L2Mutex(sim.network, resource, cs_duration=0.3)
+    workload = _MutexWorkload(
+        sim.network, mutex, sim.mh_ids,
+        request_rate=args.request_rate,
+        rng=random.Random(args.seed + 1),
+    )
+    mobility = (
+        UniformMobility(sim.network, sim.mh_ids, args.move_rate,
+                        rng=random.Random(args.seed + 2))
+        if args.move_rate > 0 else None
+    )
+    server = TelemetryServer(sim, host=args.host, port=args.port)
+    server.start()
+    emit(f"serving on {server.url}")
+    emit("routes: /metrics /health /invariants")
+    try:
+        while True:
+            target = sim.now + args.quantum
+            if args.duration > 0:
+                target = min(target, args.duration)
+            sim.run(until=target)
+            if sim.monitor_hub is not None:
+                sim.monitor_hub.drain_batches()
+            if args.duration > 0 and sim.now >= args.duration:
+                break
+    except KeyboardInterrupt:
+        emit("interrupted; shutting down")
+    finally:
+        workload.stop()
+        if mobility is not None:
+            mobility.stop()
+        sim.drain()
+        emit(sim.monitor_report())
+        if args.linger > 0:
+            emit(f"run complete; serving for {args.linger:.0f}s more")
+            _time.sleep(args.linger)
+        server.stop()
+    return 0
+
+
 def _run_perf(args, emit) -> int:
     from repro.errors import ConfigurationError, PerfGateError
     from repro.perf import SCENARIOS, run_scenario, scenario_names
@@ -1039,12 +1134,25 @@ def _run_perf_compare(args, names, emit) -> int:
         emit(f"perf: GATE FAILED: {exc}")
         return 1
     deltas = compare(current, baseline)
-    if not deltas:
+    # Scenarios measured now but absent from the baseline record (a
+    # scenario added since that BENCH was written) have no delta; they
+    # are reported informationally instead of crashing or silently
+    # vanishing from the table.
+    new_names = [
+        name for name in current["scenarios"]
+        if name not in baseline["scenarios"]
+    ]
+    if not deltas and not new_names:
         emit(f"perf: no scenarios in common with {args.compare}")
         return 1
     emit("")
     emit(f"vs {args.compare}:")
-    emit(delta_table(deltas))
+    if deltas:
+        emit(delta_table(deltas))
+    for name in new_names:
+        cur = current["scenarios"][name]
+        emit(f"{name:<18}{'new scenario (no baseline)':>30}  "
+             f"{cur['events_per_sec']:>10.0f} ev/s")
     emit("")
     emit(f"gate margins (CI floor: {_PERF_FLOOR:.2f}x normalized):")
     for delta in deltas:
@@ -1054,7 +1162,9 @@ def _run_perf_compare(args, names, emit) -> int:
             else delta.raw_ratio
         )
         cur = current["scenarios"][delta.name]
-        scenario = SCENARIOS[delta.name]
+        scenario = SCENARIOS.get(delta.name)
+        if scenario is None:
+            continue
         bits = [f"speed {(ratio - _PERF_FLOOR) * 100:+8.1f}pt above floor"]
         if (scenario.max_rss_growth_kb is not None
                 and cur.get("rss_growth_kb") is not None):
@@ -1098,6 +1208,8 @@ def main(argv: Optional[List[str]] = None, emit=print) -> int:
         return _run_scenarios(args, emit)
     if args.command == "scale":
         return _run_scale(args, emit)
+    if args.command == "serve":
+        return _run_serve(args, emit)
     if args.command == "perf":
         return _run_perf(args, emit)
     raise SystemExit(f"unknown command {args.command!r}")

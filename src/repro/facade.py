@@ -138,6 +138,15 @@ class Simulation:
             default rate; a float in ``(0, 1]`` sets the rate
             explicitly.  Safety monitors that need every event keep
             getting every event -- see ``docs/observability.md``.
+        monitor_mode: monitor dispatch strategy -- ``"event"``
+            (default) delivers each event to the monitors as it is
+            emitted; ``"batched"`` appends fixed-shape rows to the
+            :mod:`repro.obs` ledgers and replays them in drained
+            batches with identical per-event semantics, taking exact
+            monitoring off the hot path.  Batched mode requires
+            ``monitors`` and is mutually exclusive with
+            ``monitor_sampling`` (it is exact by construction).  See
+            ``docs/observability.md`` for the three fidelity tiers.
     """
 
     def __init__(
@@ -159,6 +168,7 @@ class Simulation:
         scheduler: str = "heap",
         pooling: bool = True,
         monitor_sampling: Union[None, bool, float] = None,
+        monitor_mode: str = "event",
     ) -> None:
         if n_mss < 1:
             raise ConfigurationError("need at least one MSS")
@@ -194,6 +204,20 @@ class Simulation:
         self.tracer = None
         #: the installed monitor hub, or ``None`` when monitoring is off.
         self.monitor_hub = None
+        if monitor_mode not in ("event", "batched"):
+            raise ConfigurationError(
+                f"monitor_mode must be 'event' or 'batched': "
+                f"{monitor_mode!r}"
+            )
+        if monitor_mode == "batched" and not monitors:
+            raise ConfigurationError(
+                "monitor_mode='batched' requires monitors="
+            )
+        if monitor_mode == "batched" and monitor_sampling:
+            raise ConfigurationError(
+                "monitor_mode='batched' is exact by construction and "
+                "cannot be combined with monitor_sampling"
+            )
         if monitors:
             from repro.monitor import MonitorHub, default_monitors
 
@@ -217,6 +241,7 @@ class Simulation:
                 monitor_list,
                 record=trace,
                 sample_rate=sample_rate,
+                batch=(monitor_mode == "batched"),
             )
             self.network.trace = self.monitor_hub
             self.monitor_hub.bind(self.network)
@@ -336,11 +361,39 @@ class Simulation:
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> int:
         """Advance the simulation (see :meth:`Scheduler.run`)."""
+        hub = self.monitor_hub
+        if hub is not None and hub._batch:
+            return self._run_timed(
+                lambda: self.scheduler.run(
+                    until=until, max_events=max_events
+                )
+            )
         return self.scheduler.run(until=until, max_events=max_events)
 
     def drain(self, max_events: int = 1_000_000) -> int:
         """Run until no events remain (see :meth:`Scheduler.drain`)."""
+        hub = self.monitor_hub
+        if hub is not None and hub._batch:
+            return self._run_timed(
+                lambda: self.scheduler.drain(max_events=max_events)
+            )
         return self.scheduler.drain(max_events=max_events)
+
+    def _run_timed(self, step) -> int:
+        """Run ``step`` while attributing wall time to the scheduler
+        section, net of the observability drains it triggers."""
+        from time import perf_counter
+
+        timers = self.monitor_hub.timers
+        obs_before = timers.get("drain") + timers.get("monitor")
+        started = perf_counter()
+        fired = step()
+        elapsed = perf_counter() - started
+        obs_delta = (
+            timers.get("drain") + timers.get("monitor") - obs_before
+        )
+        timers.add("scheduler", elapsed - obs_delta)
+        return fired
 
     def cost(self, scope: Optional[str] = None) -> float:
         """Total recorded cost, priced with this simulation's model."""

@@ -65,8 +65,16 @@ class Host:
         network = self.network
         trace = network._trace
         if trace.enabled:
+            appender = network._batch_recv
             gate = network._gate_recv
-            if gate is not None:
+            if appender is not None:
+                # Batched hub: one ledger-row append instead of a full
+                # emit (see MonitorHub.call_site_batch).
+                recv_id = appender(
+                    message.scope, message.src, self.host_id,
+                    message.kind, message.trace_id,
+                )
+            elif gate is not None:
                 # Sampling hub: resolve the cadence inline (see
                 # MonitorHub.call_site_gate) so a skipped receive costs
                 # two list ops instead of a full emit.

@@ -309,8 +309,16 @@ class MobileSupportStation(Host):
         self.disconnected_mhs.discard(request.mh_id)
         network = self.network
         if network._trace_on:
+            appender = network._batch_mss_handoff
             gate = network._gate_mss_handoff
-            if gate is not None:
+            if appender is not None:
+                # Batched hub (never recording -- see call_site_batch):
+                # no monitor consumes this site's detail payload, so
+                # the row skips the mh_id/shares dict (and the sorted()
+                # that would feed it) entirely.
+                appender(MOBILITY_SCOPE, self.host_id,
+                         request.new_mss_id)
+            elif gate is not None:
                 # Sampling hub: resolve the cadence inline so a skipped
                 # handoff event costs two list ops (and skips the
                 # sorted() below) instead of a full emit.

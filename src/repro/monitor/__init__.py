@@ -34,7 +34,11 @@ from typing import List
 
 from repro.monitor.base import Monitor, Violation
 from repro.monitor.health import HealthMonitor
-from repro.monitor.hub import MonitorHub, replay_events
+from repro.monitor.hub import (
+    MonitorHub,
+    replay_events,
+    replay_events_batched,
+)
 from repro.monitor.liveness import LivenessMonitor
 from repro.monitor.recovery import (
     CrashRecoveryMonitor,
@@ -64,6 +68,7 @@ __all__ = [
     "DEFAULT_SAMPLE_RATE",
     "MonitorHub",
     "replay_events",
+    "replay_events_batched",
     "default_monitors",
     "safety_monitors",
     "MutualExclusionMonitor",

@@ -26,7 +26,23 @@ from repro.monitor.base import Monitor
 from repro.monitor.liveness import LivenessMonitor
 from repro.trace.events import TraceEvent
 
-__all__ = ["HealthMonitor"]
+__all__ = ["HealthMonitor", "escape_label_value"]
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a Prometheus label value per the text exposition format.
+
+    Backslash, double-quote and newline are the only characters the
+    format requires escaping inside ``label="..."``; everything else
+    passes through verbatim.  Shared by :meth:`HealthMonitor.to_prometheus`
+    and the live ``/metrics`` endpoint
+    (:mod:`repro.obs.service`).
+    """
+    return (
+        value.replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
 
 
 class HealthMonitor(Monitor):
@@ -148,6 +164,7 @@ class HealthMonitor(Monitor):
                          "support station.")
             lines.append(f"# TYPE {prefix}_mss_load gauge")
             for mss_id, load in sorted(latest["mss_load"].items()):
+                label = escape_label_value(mss_id)
                 lines.append(
-                    f'{prefix}_mss_load{{mss="{mss_id}"}} {load}')
+                    f'{prefix}_mss_load{{mss="{label}"}} {load}')
         return "\n".join(lines) + "\n"

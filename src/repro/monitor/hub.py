@@ -41,14 +41,22 @@ Part of the online monitoring layer (ROADMAP observability arc).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.monitor.base import Monitor, Violation
+from repro.monitor.liveness import _REQUEST_SUFFIXES
+from repro.obs.ledger import LedgerSite
+from repro.obs.timing import WallTimers
 from repro.pool import Pool
 from repro.trace.events import TraceEvent, Tracer
 
-__all__ = ["MonitorHub", "replay_events"]
+__all__ = ["MonitorHub", "replay_events", "replay_events_batched"]
+
+#: shared empty detail payload for scratch replay events; monitors are
+#: pure observers and never retain or mutate the dict.
+_EMPTY_DETAIL: Dict[str, Any] = {}
 
 
 def _blank_event() -> TraceEvent:
@@ -59,6 +67,26 @@ def _reset_event(event: TraceEvent) -> None:
     # Drop the payload dict so the free list cannot pin protocol
     # objects alive; scalar fields are overwritten on acquire.
     event.detail = None  # type: ignore[assignment]
+
+
+def _fill(scratch: TraceEvent, row: tuple, etype: str) -> None:
+    """Materialize one ledger row into the reused scratch event."""
+    scratch.id = row[0]
+    scratch.parent_id = row[1]
+    scratch.time = row[2]
+    scratch.etype = etype
+    scratch.scope = row[3]
+    scratch.src = row[4]
+    scratch.dst = row[5]
+    scratch.kind = row[6]
+    detail = row[7]
+    scratch.detail = detail if detail is not None else _EMPTY_DETAIL
+    scratch.category = row[8]
+
+
+def _startswith_mss(host_id: str) -> bool:
+    """FifoOrderMonitor's unbound-network fallback for ``_is_mss``."""
+    return host_id.startswith("mss")
 
 
 class _Entry:
@@ -127,6 +155,15 @@ class MonitorHub(Tracer):
             (default) delivers everything.
         etype_filters: event types dropped entirely (not recorded, not
             dispatched; ids still allocated).
+        batch: run the batched-exact tier — emits append fixed-shape
+            rows to per-etype ledgers (:mod:`repro.obs.ledger`) and
+            the monitors consume them in drained batches with
+            per-event semantics intact.  Mutually exclusive with
+            sampling (``sample_rate`` must stay 1.0): batching keeps
+            every event, sampling thins them.
+        drain_interval: sim-time quantum between ledger drains in
+            batched mode (drains also trigger on segment fill and
+            always before ``finalize``/``report``/``violations``).
     """
 
     def __init__(
@@ -136,11 +173,22 @@ class MonitorHub(Tracer):
         record: bool = True,
         sample_rate: float = 1.0,
         etype_filters: Sequence[str] = (),
+        batch: bool = False,
+        drain_interval: float = 50.0,
     ) -> None:
         super().__init__(scheduler)
         if not 0.0 < sample_rate <= 1.0:
             raise ConfigurationError(
                 f"sample_rate must be in (0, 1]: {sample_rate}"
+            )
+        if batch and sample_rate != 1.0:
+            raise ConfigurationError(
+                "batched monitoring is exact by construction; it "
+                "cannot be combined with sample_rate < 1.0"
+            )
+        if batch and not monitors:
+            raise ConfigurationError(
+                "batched monitoring needs at least one monitor"
             )
         self.record = record
         self.sample_rate = sample_rate
@@ -156,8 +204,43 @@ class MonitorHub(Tracer):
             capacity=64,
             name="monitor.trace_events",
         )
+        # -- batched-tier state (cheap to carry when off) --------------
+        self._batch = batch
+        self.drain_interval = float(drain_interval)
+        self.timers = WallTimers()
+        #: ledger drains performed / rows replayed, for /invariants.
+        self.drains = 0
+        self.rows_dispatched = 0
+        #: sim-time through which the monitors have certified the run
+        #: (the clock at the end of the last drain); rows emitted after
+        #: this instant are still in the ledger awaiting replay.
+        self.certified_until = 0.0
+        self._sites: Dict[str, LedgerSite] = {}
+        #: the shared append segment: every site's rows land here, so
+        #: they are already in global emission order (the same order
+        #: that allocates the monotone event ids) and the drain pass
+        #: replays them without collecting or sorting.  Consumed in
+        #: place and cleared, never swapped -- appender closures bind
+        #: the list object directly.
+        self._ledger: List[tuple] = []
+        self._segment_cap = 8192
+        self._drain_due = self.drain_interval
+        self._draining = False
+        self._scratch = _blank_event()
         for monitor in self.monitors:
             monitor.attach(self)
+        # The fast consume loop folds the two standard wildcard
+        # monitors (Liveness then Health, in that order, at the end of
+        # the list) inline; any other wildcard layout replays through
+        # the generic scratch-event loop instead.
+        self._fast_consume = False
+        self._liveness = None
+        self._health = None
+        self._liveness_step = 0.0
+        self._fifo = None
+        self._rel = None
+        if batch:
+            self._detect_fast_layout()
 
     # -- wiring -------------------------------------------------------
     def bind(self, network) -> None:
@@ -203,6 +286,711 @@ class MonitorHub(Tracer):
         )
         self._table[etype] = entry
         return entry
+
+    # -- batched tier: compilation ------------------------------------
+    def _detect_fast_layout(self) -> None:
+        """Decide whether drained batches may use the inline folds."""
+        from repro.monitor.health import HealthMonitor
+        from repro.monitor.liveness import LivenessMonitor
+        from repro.monitor.safety import (
+            FifoOrderMonitor,
+            ReliableDeliveryMonitor,
+        )
+
+        monitors = self.monitors
+        if (
+            len(monitors) >= 2
+            and type(monitors[-2]) is LivenessMonitor
+            and type(monitors[-1]) is HealthMonitor
+            and [m for m in monitors if m.interests is None]
+            == [monitors[-2], monitors[-1]]
+        ):
+            self._liveness = monitors[-2]
+            self._health = monitors[-1]
+            self._liveness_step = self._liveness.check_interval
+            self._fast_consume = True
+            # Exact-type finds for the per-row inline transitions the
+            # consume loop performs on the hottest sites; a subclass
+            # (overridden on_event) never matches, so it replays
+            # through the generic scratch path instead.
+            for monitor in monitors:
+                if type(monitor) is FifoOrderMonitor and self._fifo is None:
+                    self._fifo = monitor
+                if (type(monitor) is ReliableDeliveryMonitor
+                        and self._rel is None):
+                    self._rel = monitor
+
+    def _compile_site(self, etype: str) -> LedgerSite:
+        """Resolve, once, how batched rows of ``etype`` are replayed."""
+        ordered: List[Monitor] = [
+            m
+            for m in self.monitors
+            if m.interests is not None and etype in m.interests
+        ]
+        explicit_count = len(ordered)
+        ordered += [m for m in self.monitors if m.interests is None]
+        targets = tuple(
+            (
+                monitor.on_event,
+                monitor.kind_gates.get(etype) if monitor.kind_gates
+                else None,
+            )
+            for monitor in ordered
+        )
+        plan = targets[:explicit_count] or None
+        site = LedgerSite(
+            etype, targets, plan, etype in self.etype_filters
+        )
+        if self._fast_consume and plan is not None:
+            from repro.obs.ledger import (
+                HEALTH_RECV,
+                HEALTH_SEND,
+                LIVENESS_TICK,
+                MODE_RECV_STD,
+                MODE_SEND_GATED,
+            )
+
+            fifo, rel = self._fifo, self._rel
+            if (
+                etype == "recv"
+                and fifo is not None
+                and rel is not None
+                and plan == ((fifo.on_event, None), (rel.on_event, None))
+                and site.health_code == HEALTH_RECV
+                and site.liveness_code == LIVENESS_TICK
+            ):
+                site.mode = MODE_RECV_STD
+            elif (
+                len(plan) == 1
+                and plan[0][1] is not None
+                and site.health_code == HEALTH_SEND
+                and site.liveness_code == LIVENESS_TICK
+            ):
+                site.mode = MODE_SEND_GATED
+                site.gate_fn = plan[0][0]
+                site.gate_suffixes = plan[0][1]
+        self._sites[etype] = site
+        return site
+
+    def call_site_batch(self, etype: str, category: Optional[str] = None):
+        """Compiled ledger appender for one hot instrumentation point.
+
+        Returns a closure ``append(scope, src, dst, kind=None,
+        parent=None, detail=None) -> event_id`` that allocates the
+        event id, stamps the caller-free context parent exactly like
+        :meth:`emit`, appends one row to the hub's shared segment, and
+        triggers a drain on segment fill.  (The sim-time drain quantum
+        is checked only on the :meth:`emit` path and before any
+        observation; drain cadence is semantically invisible, so the
+        hottest sites skip the clock comparison.)  Returns ``None``
+        when the hub is not batched -- or when it is recording, where
+        sites must go through :meth:`emit` so rows keep the full
+        detail payload the materialized trace needs -- and callers
+        fall back to the gate/emit paths.
+        """
+        if not self._batch or self.record:
+            return None
+        site = self._sites.get(etype)
+        if site is None:
+            site = self._compile_site(etype)
+        if site.filtered:
+            def append_filtered(
+                scope, src, dst, kind=None, parent=None, detail=None,
+                _self=self,
+            ):
+                # Ids are still allocated so causality chains stay
+                # identical across filter configurations.
+                event_id = _self._next_id
+                _self._next_id = event_id + 1
+                return event_id
+
+            return append_filtered
+        from repro.obs.ledger import (
+            HEALTH_SEND,
+            LIVENESS_TICK,
+            MODE_PLAIN,
+            MODE_SEND_GATED,
+        )
+
+        if (
+            self._fast_consume
+            and site.health_code == HEALTH_SEND
+            and site.liveness_code == LIVENESS_TICK
+        ):
+            # Plain ticking sends: the only consume-side effects are a
+            # health send-count and a liveness clock tick, neither of
+            # which needs anything beyond the timestamp.  The row is a
+            # bare float (the consume loops type-switch on it), which
+            # skips the parent resolution and the 10-slot tuple build
+            # on the hottest send paths.  Kind-gated sites still write
+            # a full row for the (rare) kinds their plan target
+            # consumes -- e.g. ``*.token`` feeding TokenUniqueness.
+            if site.mode == MODE_SEND_GATED:
+                def append_send(
+                    scope, src, dst, kind=None, parent=None, detail=None,
+                    _self=self, _site=site, _rows=self._ledger,
+                    _stack=self._stack, _scheduler=self.scheduler,
+                    _category=category, _cap=self._segment_cap,
+                    _gate=site.gate_suffixes,
+                ):
+                    event_id = _self._next_id
+                    _self._next_id = event_id + 1
+                    if kind is not None and kind.endswith(_gate):
+                        if parent is None and _stack:
+                            parent = _stack[-1]
+                        _rows.append((
+                            event_id, parent, _scheduler.now, scope,
+                            src, dst, kind, detail, _category, _site,
+                        ))
+                    else:
+                        _rows.append(_scheduler.now)
+                    if len(_rows) >= _cap:
+                        _self.drain_batches()
+                    return event_id
+
+                return append_send
+            if site.mode == MODE_PLAIN:
+                def append_plain_send(
+                    scope, src, dst, kind=None, parent=None, detail=None,
+                    _self=self, _rows=self._ledger,
+                    _scheduler=self.scheduler, _cap=self._segment_cap,
+                ):
+                    event_id = _self._next_id
+                    _self._next_id = event_id + 1
+                    _rows.append(_scheduler.now)
+                    if len(_rows) >= _cap:
+                        _self.drain_batches()
+                    return event_id
+
+                return append_plain_send
+        def append(
+            scope, src, dst, kind=None, parent=None, detail=None,
+            _self=self, _site=site, _rows=self._ledger,
+            _stack=self._stack, _scheduler=self.scheduler,
+            _category=category, _cap=self._segment_cap,
+        ):
+            if parent is None and _stack:
+                parent = _stack[-1]
+            event_id = _self._next_id
+            _self._next_id = event_id + 1
+            _rows.append((
+                event_id, parent, _scheduler.now, scope, src, dst,
+                kind, detail, _category, _site,
+            ))
+            if len(_rows) >= _cap:
+                _self.drain_batches()
+            return event_id
+
+        return append
+
+    # -- batched tier: drain ------------------------------------------
+    def drain_batches(self) -> int:
+        """Replay every pending ledger row through the monitors.
+
+        The shared segment is already in global emission order (appends
+        happen in the single-threaded execution order that allocates
+        the event ids), so the drain hands it straight to
+        :meth:`consume_batch` and clears it in place afterwards --
+        appender closures keep their direct binding to the list object.
+        Returns the number of rows replayed.  Reentrant calls (a
+        monitor running inside the replay) are no-ops.
+        """
+        if not self._batch or self._draining:
+            return 0
+        rows = self._ledger
+        if self.scheduler is not None:
+            self._drain_due = self.scheduler.now + self.drain_interval
+        count = len(rows)
+        if count == 0:
+            return 0
+        started = perf_counter()
+        self._draining = True
+        try:
+            self.consume_batch(rows)
+        finally:
+            self._draining = False
+        consumed = perf_counter()
+        del rows[:]
+        self.drains += 1
+        self.rows_dispatched += count
+        if self.scheduler is not None:
+            self.certified_until = self.scheduler.now
+        timers = self.timers
+        timers.add("monitor", consumed - started)
+        timers.add("drain", perf_counter() - consumed)
+        return count
+
+    def consume_batch(self, rows: Sequence[tuple]) -> None:
+        """Replay one ordered batch of ledger rows with per-event
+        semantics (delivery order, trace ids, violation attribution
+        all match the per-event dispatch path)."""
+        if self._fast_consume and not self.record:
+            self._consume_fast(rows)
+        else:
+            self._consume_generic(rows)
+
+    def _consume_generic(self, rows: Sequence[tuple]) -> None:
+        """Scratch-event replay for any monitor layout.
+
+        In ``record=True`` runs this also materializes the real
+        :class:`TraceEvent` list, so a batched traced run keeps the
+        exporters and walkthroughs working.
+        """
+        record = self.record
+        events = self.events
+        scratch = self._scratch
+        for row in rows:
+            site = row[9]
+            kind = row[6]
+            detail = row[7]
+            if record:
+                event = TraceEvent(
+                    id=row[0],
+                    parent_id=row[1],
+                    time=row[2],
+                    etype=site.etype,
+                    scope=row[3],
+                    category=row[8],
+                    src=row[4],
+                    dst=row[5],
+                    kind=kind,
+                    detail=detail if detail is not None else {},
+                )
+                events.append(event)
+            else:
+                event = scratch
+                event.id = row[0]
+                event.parent_id = row[1]
+                event.time = row[2]
+                event.etype = site.etype
+                event.scope = row[3]
+                event.category = row[8]
+                event.src = row[4]
+                event.dst = row[5]
+                event.kind = kind
+                event.detail = (
+                    detail if detail is not None else _EMPTY_DETAIL
+                )
+            for on_event, suffixes in site.targets:
+                if suffixes is not None and (
+                    kind is None or not kind.endswith(suffixes)
+                ):
+                    continue
+                on_event(event)
+        if not record:
+            scratch.detail = None  # type: ignore[assignment]
+
+    def _consume_fast(self, rows: Sequence) -> None:
+        """The standard-layout replay loop, tuned for the ≤1.10x gate.
+
+        Rows are either 10-tuples or bare floats (plain ticking sends:
+        just the timestamp -- see :meth:`call_site_batch`).  Tuple
+        dispatch switches on the site's compiled ``mode``: the two
+        hottest shapes (``recv`` feeding FifoOrder+ReliableDelivery,
+        kind-gated sends feeding TokenUniqueness) run their state
+        transitions inline on captured monitor internals, everything
+        else replays through a reused scratch event.  The two trailing
+        wildcard monitors are folded inline in every mode —
+        HealthMonitor's counters and LivenessMonitor's clock/stall/
+        deadline logic run on locals and write back at sample points
+        and at the end — preserving the per-event delivery order
+        (explicit targets, then liveness, then health) exactly.
+        Violation-bearing rows take the slow path (a scratch build plus
+        the monitor's own ``on_event``), so violation messages and
+        attribution stay byte-identical with per-event dispatch.
+
+        Two loop variants share that structure.  Timestamps are
+        nondecreasing, so every consecutive event gap in the batch is
+        bounded by ``batch end - last event time before the batch``:
+        when that bound is within the liveness stall gap, no stall can
+        fire anywhere in the batch and the *dense* loop replaces the
+        per-row stall/deadline/sample checks with a single compare
+        against the next boundary of interest.  Otherwise (sparse
+        batches, e.g. a chaos scenario's quiet spell) the *sparse*
+        loop keeps the full per-row liveness clock, including exact
+        stall attribution.
+        """
+        liveness = self._liveness
+        last_time = liveness._last_event_time
+        tail = rows[-1]
+        end_t = tail if type(tail) is float else tail[2]
+        base_t = last_time
+        if base_t is None:
+            head = rows[0]
+            base_t = head if type(head) is float else head[2]
+        if end_t - base_t > liveness.stall_gap:
+            self._consume_sparse(rows)
+            return
+        health = self._health
+        pending = liveness.pending
+        flagged = liveness._flagged
+        last_token = liveness._last_token
+        starved = liveness._starved
+        check_step = self._liveness_step
+        next_check = liveness._next_check
+        check_deadlines = liveness._check_deadlines
+        h_sends = health._sends
+        h_recvs = health._recvs
+        h_faults = health._faults
+        h_cs = health._cs_entries
+        next_sample = health._next_sample
+        interval = health.interval
+        scratch = self._scratch
+        fifo = self._fifo
+        rel = self._rel
+        if fifo is not None and rel is not None:
+            fifo_last = fifo._last
+            fifo_skip = fifo._SKIP_KINDS
+            fifo_on = fifo.on_event
+            net = fifo.network
+            is_mss = (net._mss.__contains__ if net is not None
+                      else _startswith_mss)
+            rel_sends = rel._sends
+            rel_released = rel._released
+            rel_on = rel.on_event
+        if pending and next_check < next_sample:
+            boundary = next_check
+        else:
+            boundary = next_sample
+        for row in rows:
+            if type(row) is float:  # plain ticking send: time only
+                t = row
+                h_sends += 1
+            else:
+                site = row[9]
+                t = row[2]
+                mode = site.mode
+                if mode == 2:  # MODE_RECV_STD: FifoOrder + Reliable
+                    parent = row[1]
+                    if parent is not None:
+                        kind = row[6]
+                        if kind not in fifo_skip:
+                            src = row[4]
+                            dst = row[5]
+                            if (src is not None and dst is not None
+                                    and is_mss(src) and is_mss(dst)):
+                                channel = (src, dst)
+                                last = fifo_last.get(channel)
+                                if last is None or parent > last:
+                                    fifo_last[channel] = parent
+                                else:  # violation: full body
+                                    _fill(scratch, row, site.etype)
+                                    fifo_on(scratch)
+                        meta = rel_sends.get(parent)
+                        if meta is not None:
+                            channel, seq = meta
+                            if seq > rel_released.get(channel, 0):
+                                rel_released[channel] = seq
+                            else:
+                                _fill(scratch, row, site.etype)
+                                rel_on(scratch)
+                    h_recvs += 1
+                elif mode == 3:  # MODE_SEND_GATED: suffix-gated target
+                    kind = row[6]
+                    if kind is not None and kind.endswith(
+                        site.gate_suffixes
+                    ):
+                        _fill(scratch, row, site.etype)
+                        site.gate_fn(scratch)
+                    h_sends += 1
+                else:
+                    kind = row[6]
+                    if mode == 0:  # MODE_GENERIC: scratch replay
+                        built = False
+                        for on_event, suffixes in site.plan:
+                            if suffixes is not None and (
+                                kind is None
+                                or not kind.endswith(suffixes)
+                            ):
+                                continue
+                            if not built:
+                                _fill(scratch, row, site.etype)
+                                built = True
+                            on_event(scratch)
+                    # -- LivenessMonitor.on_event, folded --------------
+                    code = site.liveness_code
+                    if code == 2:
+                        # send.wireless_up is kind-gated: non-request
+                        # uplinks are not delivered to liveness at all.
+                        if kind is not None and kind.endswith(
+                            _REQUEST_SUFFIXES
+                        ):
+                            pending.setdefault((row[3], row[4]), t)
+                            if next_check < boundary:
+                                boundary = next_check
+                        else:
+                            code = 0
+                    elif code == 3:
+                        pending.setdefault((row[3], row[4]), t)
+                        if next_check < boundary:
+                            boundary = next_check
+                    elif code == 4:
+                        key = (row[3], row[4])
+                        pending.pop(key, None)
+                        flagged.discard(key)
+                        if not pending:
+                            boundary = next_sample
+                    elif code == 5:
+                        last_token[row[3]] = t
+                        starved.discard(row[3])
+                    # -- HealthMonitor.on_event, folded ----------------
+                    hc = site.health_code
+                    if hc == 1:
+                        h_sends += 1
+                    elif hc == 2:
+                        h_recvs += 1
+                    elif hc == 3:
+                        h_faults += 1
+                    elif hc == 4:
+                        h_cs += 1
+                    if code == 0:
+                        # Non-ticking row: the liveness clock does not
+                        # advance, but a sample boundary still fires.
+                        if t >= next_sample:
+                            health._sends = h_sends
+                            health._recvs = h_recvs
+                            health._faults = h_faults
+                            health._cs_entries = h_cs
+                            liveness._next_check = next_check
+                            liveness._last_event_time = last_time
+                            health.sample(t)
+                            next_sample = t + interval
+                            if pending and next_check < next_sample:
+                                boundary = next_check
+                            else:
+                                boundary = next_sample
+                        continue
+            # -- shared ticking tail: one compare in the steady state --
+            last_time = t
+            if t >= boundary:
+                if pending and t >= next_check:
+                    check_deadlines(t)
+                    next_check = t + check_step
+                if t >= next_sample:
+                    health._sends = h_sends
+                    health._recvs = h_recvs
+                    health._faults = h_faults
+                    health._cs_entries = h_cs
+                    liveness._next_check = next_check
+                    liveness._last_event_time = t
+                    health.sample(t)
+                    next_sample = t + interval
+                if pending and next_check < next_sample:
+                    boundary = next_check
+                else:
+                    boundary = next_sample
+        health._sends = h_sends
+        health._recvs = h_recvs
+        health._faults = h_faults
+        health._cs_entries = h_cs
+        health._next_sample = next_sample
+        liveness._next_check = next_check
+        liveness._last_event_time = last_time
+        scratch.detail = None  # type: ignore[assignment]
+
+    def _consume_sparse(self, rows: Sequence) -> None:
+        """The full per-row liveness clock variant of
+        :meth:`_consume_fast`, used when the batch spans a gap wide
+        enough that a stall could fire inside it (sparse scenarios);
+        stall attribution needs the exact previous ticking time, so
+        every row pays the stall and deadline compares."""
+        liveness = self._liveness
+        health = self._health
+        pending = liveness.pending
+        flagged = liveness._flagged
+        last_token = liveness._last_token
+        starved = liveness._starved
+        stall_gap = liveness.stall_gap
+        check_step = self._liveness_step
+        next_check = liveness._next_check
+        last_time = liveness._last_event_time
+        check_deadlines = liveness._check_deadlines
+        h_sends = health._sends
+        h_recvs = health._recvs
+        h_faults = health._faults
+        h_cs = health._cs_entries
+        next_sample = health._next_sample
+        interval = health.interval
+        scratch = self._scratch
+        fifo = self._fifo
+        rel = self._rel
+        if fifo is not None and rel is not None:
+            fifo_last = fifo._last
+            fifo_skip = fifo._SKIP_KINDS
+            fifo_on = fifo.on_event
+            net = fifo.network
+            is_mss = (net._mss.__contains__ if net is not None
+                      else _startswith_mss)
+            rel_sends = rel._sends
+            rel_released = rel._released
+            rel_on = rel.on_event
+        for row in rows:
+            if type(row) is float:  # plain ticking send: time only
+                t = row
+                if pending:
+                    if last_time is not None and t - last_time > stall_gap:
+                        liveness._stall(t, last_time)
+                    if t >= next_check:
+                        check_deadlines(t)
+                        next_check = t + check_step
+                last_time = t
+                h_sends += 1
+                if t >= next_sample:
+                    health._sends = h_sends
+                    health._recvs = h_recvs
+                    health._faults = h_faults
+                    health._cs_entries = h_cs
+                    liveness._next_check = next_check
+                    liveness._last_event_time = last_time
+                    health.sample(t)
+                    next_sample = t + interval
+                continue
+            site = row[9]
+            t = row[2]
+            mode = site.mode
+            if mode == 2:  # MODE_RECV_STD: inline FifoOrder + Reliable
+                parent = row[1]
+                if parent is not None:
+                    kind = row[6]
+                    if kind not in fifo_skip:
+                        src = row[4]
+                        dst = row[5]
+                        if (src is not None and dst is not None
+                                and is_mss(src) and is_mss(dst)):
+                            channel = (src, dst)
+                            last = fifo_last.get(channel)
+                            if last is None or parent > last:
+                                fifo_last[channel] = parent
+                            else:  # violation: full body for the text
+                                _fill(scratch, row, site.etype)
+                                fifo_on(scratch)
+                    meta = rel_sends.get(parent)
+                    if meta is not None:
+                        channel, seq = meta
+                        if seq > rel_released.get(channel, 0):
+                            rel_released[channel] = seq
+                        else:
+                            _fill(scratch, row, site.etype)
+                            rel_on(scratch)
+                if pending:
+                    if last_time is not None and t - last_time > stall_gap:
+                        liveness._stall(t, last_time)
+                    if t >= next_check:
+                        check_deadlines(t)
+                        next_check = t + check_step
+                last_time = t
+                h_recvs += 1
+            elif mode == 3:  # MODE_SEND_GATED: one suffix-gated target
+                kind = row[6]
+                if kind is not None and kind.endswith(site.gate_suffixes):
+                    _fill(scratch, row, site.etype)
+                    site.gate_fn(scratch)
+                if pending:
+                    if last_time is not None and t - last_time > stall_gap:
+                        liveness._stall(t, last_time)
+                    if t >= next_check:
+                        check_deadlines(t)
+                        next_check = t + check_step
+                last_time = t
+                h_sends += 1
+            else:
+                kind = row[6]
+                if mode == 0:  # MODE_GENERIC: scratch replay of plan
+                    built = False
+                    for on_event, suffixes in site.plan:
+                        if suffixes is not None and (
+                            kind is None or not kind.endswith(suffixes)
+                        ):
+                            continue
+                        if not built:
+                            _fill(scratch, row, site.etype)
+                            built = True
+                        on_event(scratch)
+                # -- LivenessMonitor.on_event, folded ------------------
+                code = site.liveness_code
+                if code == 2:
+                    # send.wireless_up is kind-gated: non-request
+                    # uplinks are not delivered to liveness at all.
+                    if kind is not None and kind.endswith(_REQUEST_SUFFIXES):
+                        pending.setdefault((row[3], row[4]), t)
+                    else:
+                        code = 0
+                elif code == 3:
+                    pending.setdefault((row[3], row[4]), t)
+                elif code == 4:
+                    key = (row[3], row[4])
+                    pending.pop(key, None)
+                    flagged.discard(key)
+                elif code == 5:
+                    last_token[row[3]] = t
+                    starved.discard(row[3])
+                if code:
+                    if pending:
+                        if (last_time is not None
+                                and t - last_time > stall_gap):
+                            liveness._stall(t, last_time)
+                        if t >= next_check:
+                            check_deadlines(t)
+                            next_check = t + check_step
+                    last_time = t
+                # -- HealthMonitor.on_event, folded --------------------
+                code = site.health_code
+                if code == 1:
+                    h_sends += 1
+                elif code == 2:
+                    h_recvs += 1
+                elif code == 3:
+                    h_faults += 1
+                elif code == 4:
+                    h_cs += 1
+            if t >= next_sample:
+                health._sends = h_sends
+                health._recvs = h_recvs
+                health._faults = h_faults
+                health._cs_entries = h_cs
+                liveness._next_check = next_check
+                liveness._last_event_time = last_time
+                health.sample(t)
+                next_sample = t + interval
+        health._sends = h_sends
+        health._recvs = h_recvs
+        health._faults = h_faults
+        health._cs_entries = h_cs
+        health._next_sample = next_sample
+        liveness._next_check = next_check
+        liveness._last_event_time = last_time
+        scratch.detail = None  # type: ignore[assignment]
+
+    def ingest_events(self, events: Iterable[TraceEvent]) -> int:
+        """Offline batched replay: append recorded events as ledger
+        rows (keeping their original ids, parents and timestamps) and
+        drain.  Events are replayed in the given order -- recorded
+        traces are already in emission order, exactly like the online
+        shared segment.  The batched analogue of :meth:`dispatch`-based
+        replay, used by :func:`replay_events_batched` and the
+        equivalence gate."""
+        if not self._batch:
+            raise ConfigurationError(
+                "ingest_events requires a batched hub"
+            )
+        ledger = self._ledger
+        count = 0
+        for event in events:
+            site = self._sites.get(event.etype)
+            if site is None:
+                site = self._compile_site(event.etype)
+            if site.filtered:
+                continue
+            ledger.append((
+                event.id, event.parent_id, event.time, event.scope,
+                event.src, event.dst, event.kind, event.detail,
+                event.category, site,
+            ))
+            count += 1
+            if len(ledger) >= self._segment_cap:
+                self.drain_batches()
+        self.drain_batches()
+        return count
 
     # -- call-site gates ----------------------------------------------
     def call_site_gate(self, etype):
@@ -321,6 +1109,24 @@ class MonitorHub(Tracer):
             parent = self._stack[-1]
         event_id = self._next_id
         self._next_id = event_id + 1
+        if self._batch:
+            # Batched tier: append one ledger row and return.  Every
+            # emit module in the tree goes through here unchanged; the
+            # hottest sites bypass even this via call_site_batch.
+            site = self._sites.get(etype)
+            if site is None:
+                site = self._compile_site(etype)
+            if site.filtered:
+                return event_id
+            rows = self._ledger
+            now = self.scheduler.now
+            rows.append((
+                event_id, parent, now, scope, src, dst, kind,
+                detail if detail else None, category, site,
+            ))
+            if len(rows) >= self._segment_cap or now >= self._drain_due:
+                self.drain_batches()
+            return event_id
         entry = self._table.get(etype)
         if entry is None:
             entry = self._compile(etype)
@@ -438,9 +1244,14 @@ class MonitorHub(Tracer):
 
     # -- reporting ----------------------------------------------------
     def finalize(self, at: Optional[float] = None) -> None:
-        """Run every monitor's end-of-run checks (idempotent)."""
+        """Run every monitor's end-of-run checks (idempotent).
+
+        A batched hub drains its ledgers first, so no event is ever
+        finalized past."""
         if self._finalized:
             return
+        if self._batch:
+            self.drain_batches()
         self._finalized = True
         if at is None:
             at = self.scheduler.now if self.scheduler is not None else 0.0
@@ -449,6 +1260,8 @@ class MonitorHub(Tracer):
 
     @property
     def violations(self) -> List[Violation]:
+        if self._batch:
+            self.drain_batches()
         out: List[Violation] = []
         for monitor in self.monitors:
             out.extend(monitor.violations)
@@ -457,10 +1270,14 @@ class MonitorHub(Tracer):
 
     @property
     def ok(self) -> bool:
+        if self._batch:
+            self.drain_batches()
         return all(monitor.ok for monitor in self.monitors)
 
     def report(self) -> str:
         """A human-readable per-monitor summary."""
+        if self._batch:
+            self.drain_batches()
         lines = ["invariant monitors"]
         for monitor in self.monitors:
             n = len(monitor.violations)
@@ -494,4 +1311,27 @@ def replay_events(
         last_time = event.time
     if finalize:
         hub.finalize(at=last_time)
+    return hub
+
+
+def replay_events_batched(
+    events: Sequence[TraceEvent],
+    monitors: Sequence[Monitor],
+    network=None,
+    finalize: bool = True,
+) -> MonitorHub:
+    """Run ``monitors`` over a recorded stream through the batched
+    tier: events become ledger rows (original ids, parents and
+    timestamps preserved) and the monitors consume drained batches.
+
+    The equivalence gate replays every canonical scenario through both
+    this and :func:`replay_events` and asserts identical violations,
+    reports and health series (ROADMAP item 3).
+    """
+    hub = MonitorHub(None, monitors, record=False, batch=True)
+    if network is not None:
+        hub.bind(network)
+    hub.ingest_events(events)
+    if finalize:
+        hub.finalize(at=events[-1].time if events else 0.0)
     return hub

@@ -84,6 +84,23 @@ class LivenessMonitor(Monitor):
             return 0.0
         return now - min(self.pending.values())
 
+    @property
+    def check_interval(self) -> float:
+        """Sim-time between lazy deadline sweeps (an eighth of the
+        tighter deadline; shared with the batched fold so both
+        dispatch paths re-arm identically)."""
+        return min(self.request_deadline, self.token_deadline) / 8.0
+
+    def _stall(self, now: float, last: float) -> None:
+        """Record one scheduler-stall violation (shared with the
+        batched consume loop so the report text stays identical)."""
+        self.violation(
+            "liveness.scheduler_stall", now,
+            f"no observable progress for {now - last:g} "
+            f"sim-time units while {len(self.pending)} "
+            f"request(s) were pending",
+            gap=now - last, pending=len(self.pending))
+
     # -- observation --------------------------------------------------
     def on_event(self, event: TraceEvent) -> None:
         etype = event.etype
@@ -106,16 +123,10 @@ class LivenessMonitor(Monitor):
         if self.pending:
             last = self._last_event_time
             if last is not None and now - last > self.stall_gap:
-                self.violation(
-                    "liveness.scheduler_stall", now,
-                    f"no observable progress for {now - last:g} "
-                    f"sim-time units while {len(self.pending)} "
-                    f"request(s) were pending",
-                    gap=now - last, pending=len(self.pending))
+                self._stall(now, last)
             if now >= self._next_check:
                 self._check_deadlines(now)
-                self._next_check = now + min(self.request_deadline,
-                                             self.token_deadline) / 8.0
+                self._next_check = now + self.check_interval
         self._last_event_time = now
 
     def _check_deadlines(self, now: float) -> None:

@@ -129,6 +129,17 @@ class L2Mutex:
         #: mh_id -> (grant, scheduled exit) while inside the region, so
         #: a MH crash can vacate the CS instead of wedging the system.
         self._active: Dict[str, Tuple[GrantPayload, object]] = {}
+        # Batched hubs hand out ledger appenders for the CS transition
+        # events (see MonitorHub.call_site_batch); the tracer is
+        # installed before protocols attach, so resolving them once
+        # here mirrors Network._refresh_fast_paths.
+        batch_for = getattr(network._trace, "call_site_batch", None)
+        if batch_for is not None and network._trace_on:
+            self._batch_cs_enter = batch_for("cs.enter")
+            self._batch_cs_exit = batch_for("cs.exit")
+        else:
+            self._batch_cs_enter = None
+            self._batch_cs_exit = None
         if network.faults is not None:
             network.faults.add_mh_crash_listener(self._on_mh_crash)
 
@@ -260,12 +271,17 @@ class L2Mutex:
         grant: GrantPayload = message.payload
         self.grant_log.append((grant.request_ts, grant.mh_id))
         if self.network._trace_on:
-            self.network._trace.emit(
-                "cs.enter",
-                scope=self.scope,
-                src=grant.mh_id,
-                proxy=grant.proxy_mss_id,
-            )
+            appender = self._batch_cs_enter
+            if appender is not None:
+                appender(self.scope, grant.mh_id, None, None, None,
+                         {"proxy": grant.proxy_mss_id})
+            else:
+                self.network._trace.emit(
+                    "cs.enter",
+                    scope=self.scope,
+                    src=grant.mh_id,
+                    proxy=grant.proxy_mss_id,
+                )
         self.resource.enter(
             grant.mh_id,
             info={"algorithm": self.scope, "request_ts": grant.request_ts},
@@ -280,12 +296,17 @@ class L2Mutex:
         self._active.pop(grant.mh_id, None)
         self.resource.leave(grant.mh_id)
         if self.network._trace_on:
-            self.network._trace.emit(
-                "cs.exit",
-                scope=self.scope,
-                src=grant.mh_id,
-                proxy=grant.proxy_mss_id,
-            )
+            appender = self._batch_cs_exit
+            if appender is not None:
+                appender(self.scope, grant.mh_id, None, None, None,
+                         {"proxy": grant.proxy_mss_id})
+            else:
+                self.network._trace.emit(
+                    "cs.exit",
+                    scope=self.scope,
+                    src=grant.mh_id,
+                    proxy=grant.proxy_mss_id,
+                )
         mh = self.network.mobile_host(grant.mh_id)
         if mh.is_connected:
             self._send_release(grant.mh_id, grant.proxy_mss_id)
@@ -319,14 +340,20 @@ class L2Mutex:
             self.resource.leave(mh_id)
             self.network.metrics.record_fault("l2.grant_aborted_by_crash")
             if self.network._trace_on:
-                self.network._trace.emit(
-                    "cs.exit",
-                    scope=self.scope,
-                    src=mh_id,
-                    proxy=grant.proxy_mss_id,
-                    aborted=True,
-                    reason="mh.crash",
-                )
+                appender = self._batch_cs_exit
+                if appender is not None:
+                    appender(self.scope, mh_id, None, None, None,
+                             {"proxy": grant.proxy_mss_id,
+                              "aborted": True, "reason": "mh.crash"})
+                else:
+                    self.network._trace.emit(
+                        "cs.exit",
+                        scope=self.scope,
+                        src=mh_id,
+                        proxy=grant.proxy_mss_id,
+                        aborted=True,
+                        reason="mh.crash",
+                    )
             proxy = grant.proxy_mss_id
             self._request_ts[proxy].pop(mh_id, None)
             self._nodes[proxy].release(tag=mh_id)

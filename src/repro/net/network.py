@@ -144,6 +144,39 @@ class Network:
             self._gate_mss_handoff = None
             self._gate_search_begin = None
             self._gate_search_charge = None
+        # Batched hubs hand out per-etype ledger appenders instead (see
+        # MonitorHub.call_site_batch): the same hot points append one
+        # row tuple and skip the emit call entirely.  ``None`` (plain
+        # tracers, per-event hubs, record mode) means "emit as usual";
+        # batching and sampling are mutually exclusive, so at most one
+        # family of fast paths is active.
+        batch_for = getattr(self._trace, "call_site_batch", None)
+        if batch_for is not None and self._trace_on:
+            self._batch_send_fixed = batch_for("send.fixed", "fixed")
+            self._batch_send_local = batch_for("send.local")
+            self._batch_recv = batch_for("recv")
+            self._batch_wireless_up = batch_for("send.wireless_up",
+                                                "wireless")
+            self._batch_wireless_down = batch_for("send.wireless_down",
+                                                  "wireless")
+            self._batch_mss_handoff = batch_for("mss.handoff")
+            self._batch_mh_leave = batch_for("mh.leave")
+            self._batch_mh_join = batch_for("mh.join")
+            self._batch_search_charge = batch_for("search.charge",
+                                                  "search")
+            self._batch_search_probes = batch_for("search.probes",
+                                                  "search_probe")
+        else:
+            self._batch_send_fixed = None
+            self._batch_send_local = None
+            self._batch_recv = None
+            self._batch_wireless_up = None
+            self._batch_wireless_down = None
+            self._batch_mss_handoff = None
+            self._batch_mh_leave = None
+            self._batch_mh_join = None
+            self._batch_search_charge = None
+            self._batch_search_probes = None
         fixed = self.config.fixed_latency
         self._fixed_const = (
             fixed.value if isinstance(fixed, ConstantLatency) else None
@@ -325,8 +358,14 @@ class Network:
         dst = self.mss(message.dst)
         if message.src == message.dst:
             if self._trace_on:
+                appender = self._batch_send_local
                 gate = self._gate_send_local
-                if gate is None:
+                if appender is not None:
+                    message.trace_id = appender(
+                        message.scope, message.src, message.dst,
+                        message.kind,
+                    )
+                elif gate is None:
                     message.trace_id = self._trace.emit(
                         "send.local",
                         scope=message.scope,
@@ -408,8 +447,13 @@ class Network:
         except KeyError:
             raise UnknownHostError(f"unknown MSS: {message.dst}") from None
         self.metrics.record_fixed(message.scope)
+        appender = self._batch_send_fixed
         gate = self._gate_send_fixed
-        if gate is None:
+        if appender is not None:
+            message.trace_id = appender(
+                message.scope, message.src, message.dst, message.kind,
+            )
+        elif gate is None:
             message.trace_id = self._trace.emit(
                 "send.fixed",
                 scope=message.scope,
@@ -460,8 +504,13 @@ class Network:
             raise UnknownHostError(f"unknown MSS: {message.dst}") from None
         self.metrics.record_fixed(message.scope)
         if self._trace_on:
+            appender = self._batch_send_fixed
             gate = self._gate_send_fixed
-            if gate is None:
+            if appender is not None:
+                message.trace_id = appender(
+                    message.scope, message.src, message.dst, message.kind,
+                )
+            elif gate is None:
                 message.trace_id = self._trace.emit(
                     "send.fixed",
                     scope=message.scope,
@@ -616,8 +665,13 @@ class Network:
         session = mh.session
         self.metrics.record_wireless_rx(mh_id, message.scope)
         if self._trace_on:
+            appender = self._batch_wireless_down
             gate = self._gate_wireless_down
-            if gate is None:
+            if appender is not None:
+                message.trace_id = appender(
+                    message.scope, mss_id, mh_id, message.kind,
+                )
+            elif gate is None:
                 message.trace_id = self._trace.emit(
                     "send.wireless_down",
                     scope=message.scope,
@@ -710,8 +764,13 @@ class Network:
         message.dst = mss.host_id
         self.metrics.record_wireless_tx(mh_id, message.scope)
         if self._trace_on:
+            appender = self._batch_wireless_up
             gate = self._gate_wireless_up
-            if gate is None:
+            if appender is not None:
+                message.trace_id = appender(
+                    message.scope, mh_id, mss.host_id, message.kind,
+                )
+            elif gate is None:
                 message.trace_id = self._trace.emit(
                     "send.wireless_up",
                     scope=message.scope,

@@ -125,6 +125,13 @@ class AbstractSearch(SearchProtocol):
     ) -> None:
         network.metrics.record_search(scope)
         if network._trace_on:
+            appender = network._batch_search_charge
+            if appender is not None:
+                appender(scope, src_mss_id, mh_id)
+                self._resolve(
+                    network, mh_id, callback, first_attempt=True
+                )
+                return
             gate = network._gate_search_charge
             if gate is not None:
                 counter = gate[0]
@@ -231,14 +238,19 @@ class BroadcastSearch(SearchProtocol):
         probes = len(others) + 1
         network.metrics.record_search_probe(scope, count=probes)
         if network._trace_on:
-            network._trace.emit(
-                "search.probes",
-                scope=scope,
-                category="search_probe",
-                src=src_mss_id,
-                dst=mh_id,
-                count=probes,
-            )
+            appender = network._batch_search_probes
+            if appender is not None:
+                appender(scope, src_mss_id, mh_id, None, None,
+                         {"count": probes})
+            else:
+                network._trace.emit(
+                    "search.probes",
+                    scope=scope,
+                    category="search_probe",
+                    src=src_mss_id,
+                    dst=mh_id,
+                    count=probes,
+                )
         round_trip = 2 * network.config.fixed_latency(network.rng)
         network.scheduler.schedule(
             round_trip,
@@ -348,15 +360,20 @@ class HomeAgentSearch(SearchProtocol):
         # Query + reply to the home agent.
         network.metrics.record_search_probe(scope, count=2)
         if network._trace_on:
-            network._trace.emit(
-                "search.probes",
-                scope=scope,
-                category="search_probe",
-                src=src_mss_id,
-                dst=mh_id,
-                count=2,
-                home=self.home_of(network, mh_id),
-            )
+            appender = network._batch_search_probes
+            if appender is not None:
+                appender(scope, src_mss_id, mh_id, None, None,
+                         {"count": 2, "home": self.home_of(network, mh_id)})
+            else:
+                network._trace.emit(
+                    "search.probes",
+                    scope=scope,
+                    category="search_probe",
+                    src=src_mss_id,
+                    dst=mh_id,
+                    count=2,
+                    home=self.home_of(network, mh_id),
+                )
         round_trip = 2 * network.config.fixed_latency(network.rng)
         network.scheduler.schedule(
             round_trip, self._complete, network, mh_id, scope, callback

@@ -1,0 +1,35 @@
+"""Batched observability: exact monitoring off the hot path.
+
+The paper's two-tier cost argument (ICDCS 1994) is certified by the
+invariant monitors in :mod:`repro.monitor`; this package takes their
+per-event dispatch off the simulation's hot path without losing a
+single event (ROADMAP item 3's "<10% observability" target) and runs
+the result as a long-lived telemetry service (ROADMAP item 5):
+
+* :mod:`repro.obs.ledger` -- the append-only per-etype ledger segments
+  hot emit sites write fixed-shape row tuples into, drained in batch
+  through :meth:`repro.monitor.hub.MonitorHub.consume_batch`.
+* :mod:`repro.obs.timing` -- per-subsystem wall-time counters
+  (scheduler / network / monitor / drain) exported into BENCH records
+  and the ``/metrics`` endpoint.
+* :mod:`repro.obs.service` -- the stdlib-only HTTP telemetry service
+  behind ``repro serve``: ``/metrics`` (Prometheus text), ``/health``
+  and ``/invariants`` (rolling certification from the drain pass).
+
+Select the batched tier with ``Simulation(monitors=True,
+monitor_mode="batched")``; see ``docs/observability.md`` for the three
+fidelity tiers and the measured overhead of each.
+"""
+
+from __future__ import annotations
+
+from repro.obs.ledger import LedgerSite
+from repro.obs.service import TelemetryServer
+from repro.obs.timing import WallTimers, instrument_network
+
+__all__ = [
+    "LedgerSite",
+    "TelemetryServer",
+    "WallTimers",
+    "instrument_network",
+]

@@ -1,0 +1,99 @@
+"""Per-subsystem wall-time counters for the observability pipeline.
+
+:class:`WallTimers` is a tiny named-accumulator bag the batched
+monitor hub, the facade and the telemetry service share.  The
+canonical sections:
+
+* ``scheduler`` -- wall time inside ``Simulation.run``/``drain`` minus
+  the observability sections below (i.e. protocol + event-queue work).
+* ``network``   -- wall time inside the instrumented send entry points
+  (a subset of ``scheduler``; only measured when
+  :func:`instrument_network` was installed, because the per-message
+  wrapper is not free).
+* ``drain``     -- collecting + ordering ledger rows.
+* ``monitor``   -- replaying drained batches through the monitors.
+
+The counters surface two ways: through the ``/metrics`` endpoint of
+``repro serve`` (``repro_obs_wall_seconds{section=...}``) and, via
+:func:`publish_run`/:func:`consume_last_run`, into the
+``subsystem_wall_s`` field of BENCH records for scenarios that opt in
+(``smoke_ledger``).  Part of the batched observability pipeline
+(ROADMAP item 3) and the service mode (ROADMAP item 5).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, Optional
+
+__all__ = [
+    "WallTimers",
+    "instrument_network",
+    "publish_run",
+    "consume_last_run",
+]
+
+
+class WallTimers:
+    """Named wall-time accumulators (seconds, monotonically growing)."""
+
+    __slots__ = ("counters",)
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+
+    def add(self, section: str, seconds: float) -> None:
+        counters = self.counters
+        counters[section] = counters.get(section, 0.0) + seconds
+
+    def get(self, section: str) -> float:
+        return self.counters.get(section, 0.0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict copy, stable for JSON export."""
+        return dict(self.counters)
+
+    def reset(self) -> None:
+        self.counters.clear()
+
+
+def instrument_network(network, timers: WallTimers) -> None:
+    """Shadow the network's send entry points with timed wrappers.
+
+    Installs per-instance wrappers over ``send_fixed``,
+    ``send_wireless_up`` and ``send_wireless_down`` that accumulate
+    into ``timers["network"]``.  Deliberately opt-in (the serve loop
+    and the ``smoke_ledger`` scenario): the wrapper costs a
+    ``perf_counter`` pair per message, which the gated headline
+    benchmarks must not pay.
+    """
+    for name in ("send_fixed", "send_wireless_up", "send_wireless_down"):
+        original = getattr(network, name)
+
+        def timed(*args, _original=original, _timers=timers, **kwargs):
+            start = perf_counter()
+            try:
+                return _original(*args, **kwargs)
+            finally:
+                _timers.add("network", perf_counter() - start)
+
+        setattr(network, name, timed)
+
+
+#: snapshot of the most recent opt-in scenario run, picked up by the
+#: perf harness right after the scenario returns.
+_last_run: Optional[Dict[str, float]] = None
+
+
+def publish_run(snapshot: Dict[str, float]) -> None:
+    """Record one finished run's timer snapshot for the harness."""
+    global _last_run
+    _last_run = dict(snapshot)
+
+
+def consume_last_run() -> Optional[Dict[str, float]]:
+    """Pop the last published snapshot (``None`` when absent)."""
+    global _last_run
+    snapshot = _last_run
+    _last_run = None
+    return snapshot

@@ -52,7 +52,8 @@ def _make_sim(n_mss: int, n_mh: int, seed: int, **kwargs) -> Simulation:
 def loaded_system(n_mss: int, n_mh: int, duration: float = 150.0,
                   request_rate: float = 0.05, move_rate: float = 0.02,
                   monitors=None, scheduler: str = "heap",
-                  monitor_sampling=None) -> int:
+                  monitor_sampling=None, monitor_mode: str = "event",
+                  capture_timing: bool = False) -> int:
     """The ``bench_scale.py`` workload: L2 mutex traffic plus mobility.
 
     This is the harness's headline scenario (at M=10, N=200): a system
@@ -61,10 +62,25 @@ def loaded_system(n_mss: int, n_mh: int, duration: float = 150.0,
     scheduler, and the metrics counters together.  With ``monitors``
     set, the same workload runs under the online invariant monitors
     (which must not change the event count -- only the wall time), so
-    the harness prices the monitoring overhead directly.
+    the harness prices the monitoring overhead directly --
+    ``monitor_mode="batched"`` prices the ledger/drain pipeline the
+    same way.  ``capture_timing`` additionally instruments the network
+    send paths and publishes the per-subsystem wall-time split for the
+    harness to attach to the BENCH record (costs a ``perf_counter``
+    pair per message, so only ``smoke_ledger`` opts in).
     """
     sim = _make_sim(n_mss, n_mh, seed=3, monitors=monitors,
-                    scheduler=scheduler, monitor_sampling=monitor_sampling)
+                    scheduler=scheduler, monitor_sampling=monitor_sampling,
+                    monitor_mode=monitor_mode)
+    if capture_timing:
+        from repro.obs import instrument_network
+        from repro.obs.timing import publish_run
+
+        timers = (sim.monitor_hub.timers if sim.monitor_hub is not None
+                  else None)
+        if timers is None:  # pragma: no cover - timing needs monitors
+            raise ValueError("capture_timing requires monitors")
+        instrument_network(sim.network, timers)
     resource = CriticalResource(sim.scheduler)
     mutex = L2Mutex(sim.network, resource, cs_duration=0.3)
     workload = MutexWorkload(sim.network, mutex, sim.mh_ids,
@@ -78,6 +94,8 @@ def loaded_system(n_mss: int, n_mh: int, duration: float = 150.0,
     sim.drain()
     resource.assert_no_overlap()
     sim.assert_invariants()
+    if capture_timing:
+        publish_run(sim.monitor_hub.timers.snapshot())
     return sim.scheduler.events_processed
 
 
@@ -369,13 +387,27 @@ _register(Scenario(
 _register(Scenario(
     name="smoke_full_stack",
     description="the smoke_monitors workload with the whole perf stack "
-                "on at once: calendar queue, free-list pools, sampled "
-                "monitors (the BENCH_8 headline)",
+                "on at once: calendar queue, free-list pools, batched "
+                "exact monitors (the BENCH_9 headline; gated against "
+                "smoke_calendar and smoke_monitors by the obs-overhead "
+                "CI job -- see tools/check_obs_overhead.py)",
     run=lambda: loaded_system(6, 40, 2000.0, monitors=True,
-                              monitor_sampling=True,
+                              monitor_mode="batched",
                               scheduler="calendar"),
     smoke=True,
-    tags=("mutex", "monitor", "scheduler", "smoke"),
+    tags=("mutex", "monitor", "scheduler", "obs", "smoke"),
+))
+_register(Scenario(
+    name="smoke_ledger",
+    description="the smoke_monitors workload under batched exact "
+                "monitors with per-subsystem timing capture "
+                "(scheduler/network/drain/monitor wall split in "
+                "subsystem_wall_s)",
+    run=lambda: loaded_system(6, 40, 2000.0, monitors=True,
+                              monitor_mode="batched",
+                              capture_timing=True),
+    smoke=True,
+    tags=("mutex", "monitor", "obs", "smoke"),
 ))
 _register(Scenario(
     name="smoke_pooled",

@@ -77,11 +77,13 @@ class ScenarioResult:
 class _Run:
     """Mutable state for one scenario execution."""
 
-    def __init__(self, spec: ScenarioSpec, seed: int) -> None:
+    def __init__(self, spec: ScenarioSpec, seed: int,
+                 monitor_mode: str = "event") -> None:
         self.spec = spec
         self.seed = seed
         monitors = spec.monitors
         self.sim = Simulation(
+            monitor_mode=monitor_mode,
             n_mss=spec.n_mss,
             n_mh=spec.n_mh,
             seed=seed,
@@ -511,16 +513,21 @@ class _Run:
 
 
 def run_scenario(spec: ScenarioSpec,
-                 seed: Optional[int] = None) -> ScenarioResult:
+                 seed: Optional[int] = None,
+                 monitor_mode: str = "event") -> ScenarioResult:
     """Execute one scenario and return its result.
 
     Args:
         spec: a validated scenario.
         seed: override for the spec's own seed (certification sweeps).
+        monitor_mode: monitor dispatch strategy forwarded to
+            :class:`Simulation` -- ``"batched"`` runs the same exact
+            monitors through the ledger/drain pipeline (the
+            equivalence gate exercises both).
     """
     seed = spec.seed if seed is None else seed
     started = time.perf_counter()
-    run = _Run(spec, seed)
+    run = _Run(spec, seed, monitor_mode=monitor_mode)
     run.wire_workload()
     run.wire_churn()
     run.schedule_events()

@@ -1,0 +1,93 @@
+"""Tests for `repro perf --compare` against partial baselines.
+
+A BENCH baseline written before a scenario existed must not crash the
+comparison (the KeyError satellite of the observability PR): scenarios
+measured now but absent from the baseline are reported as
+"new scenario (no baseline)" and never gate the regression check.
+See docs/performance.md for the BENCH trajectory workflow.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.harness import SCHEMA, compare
+
+
+@pytest.fixture()
+def emit_lines():
+    lines = []
+
+    def emit(line=""):
+        lines.append(str(line))
+
+    return lines, emit
+
+
+def write_baseline(path, scenarios):
+    record = {
+        "schema": SCHEMA,
+        "calibration_ops_per_sec": 1_000_000.0,
+        "scenarios": scenarios,
+    }
+    path.write_text(json.dumps(record))
+    return str(path)
+
+
+def test_new_scenario_reported_not_crashed(tmp_path, emit_lines):
+    lines, emit = emit_lines
+    baseline = write_baseline(tmp_path / "BENCH_0.json", {})
+    code = main(
+        ["perf", "--scenario", "smoke_search", "--repeats", "1",
+         "--compare", baseline],
+        emit=emit,
+    )
+    assert code == 0
+    joined = "\n".join(lines)
+    assert "new scenario (no baseline)" in joined
+    assert "smoke_search" in joined
+
+
+def test_common_scenarios_still_gated(tmp_path, emit_lines):
+    """A baseline that does know the scenario produces a delta row and
+    an honest regression verdict (an impossible floor must fail)."""
+    lines, emit = emit_lines
+    baseline = write_baseline(
+        tmp_path / "BENCH_0.json",
+        {"smoke_search": {"events_per_sec": 1e12,
+                          "wall_time_s": 0.001, "events": 5675}},
+    )
+    code = main(
+        ["perf", "--scenario", "smoke_search", "--repeats", "1",
+         "--compare", baseline],
+        emit=emit,
+    )
+    assert code == 1
+    joined = "\n".join(lines)
+    assert "REGRESSION" in joined
+    assert "new scenario (no baseline)" not in joined
+
+
+def test_compare_skips_missing_scenarios():
+    """The library-level diff only pairs scenarios present in both
+    records; extras on either side are ignored, not KeyErrors."""
+    current = {
+        "calibration_ops_per_sec": 100.0,
+        "scenarios": {
+            "a": {"events_per_sec": 10.0},
+            "only_current": {"events_per_sec": 1.0},
+        },
+    }
+    baseline = {
+        "calibration_ops_per_sec": 100.0,
+        "scenarios": {
+            "a": {"events_per_sec": 5.0},
+            "only_baseline": {"events_per_sec": 2.0},
+        },
+    }
+    deltas = compare(current, baseline)
+    assert [d.name for d in deltas] == ["a"]
+    assert deltas[0].raw_ratio == pytest.approx(2.0)

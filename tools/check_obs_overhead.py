@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""CI gate: batched exact monitoring stays cheap in the BENCH record.
+
+Reads a BENCH_<n>.json trajectory record and checks the observability
+headline (ROADMAP item 3) on the wall times recorded side by side in
+the same session:
+
+* ``smoke_full_stack`` (calendar queue + batched exact monitors) must
+  stay within ``--max-ratio`` of ``smoke_calendar`` (same workload,
+  monitors off).  The aspirational target is 1.10x; the measured
+  pure-Python floor on the reference machine is ~1.2x (about 1 us of
+  append+replay per monitored row over a ~9 us/event simulator), so
+  the default gate is a calibrated regression ceiling above that
+  floor, not the aspiration -- see docs/observability.md for the
+  honest accounting.
+* ``smoke_full_stack`` must also undercut ``smoke_monitors``
+  (per-event exact dispatch, same workload) by ``--max-vs-event`` --
+  the batched pipeline has to keep beating the dispatch it replaced
+  by a wide margin, whatever the machine.
+
+    PYTHONPATH=src python tools/check_obs_overhead.py BENCH_9.json
+    PYTHONPATH=src python tools/check_obs_overhead.py BENCH_9.json \
+        --max-ratio 1.35 --max-vs-event 0.80
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+FULL = "smoke_full_stack"
+OFF = "smoke_calendar"
+EVENT = "smoke_monitors"
+
+
+def wall(record, name):
+    try:
+        return float(record["scenarios"][name]["wall_time_s"])
+    except KeyError:
+        raise SystemExit(
+            f"obs-overhead: scenario {name!r} missing from the BENCH "
+            f"record; re-run the perf harness with the smoke set"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate batched-monitor overhead recorded in a "
+                    "BENCH json file."
+    )
+    parser.add_argument("bench", help="path to BENCH_<n>.json")
+    parser.add_argument("--max-ratio", type=float, default=1.35,
+                        help="ceiling for full_stack/calendar wall "
+                             "time (default 1.35; target 1.10)")
+    parser.add_argument("--max-vs-event", type=float, default=0.80,
+                        help="ceiling for full_stack/per-event wall "
+                             "time (default 0.80)")
+    args = parser.parse_args(argv)
+
+    with open(args.bench, encoding="utf-8") as fh:
+        record = json.load(fh)
+
+    full = wall(record, FULL)
+    off = wall(record, OFF)
+    event = wall(record, EVENT)
+    ratio = full / off
+    vs_event = full / event
+    print(f"{FULL}: {full:.3f}s  {OFF}: {off:.3f}s  "
+          f"{EVENT}: {event:.3f}s")
+    print(f"batched vs monitors-off : {ratio:.3f}x "
+          f"(gate {args.max_ratio:.2f}x, target 1.10x)")
+    print(f"batched vs per-event    : {vs_event:.3f}x "
+          f"(gate {args.max_vs_event:.2f}x)")
+
+    failures = []
+    if ratio > args.max_ratio:
+        failures.append(
+            f"batched monitors cost {ratio:.3f}x monitors-off wall "
+            f"time (ceiling {args.max_ratio:.2f}x)"
+        )
+    if vs_event > args.max_vs_event:
+        failures.append(
+            f"batched monitors only reach {vs_event:.3f}x of "
+            f"per-event wall time (ceiling {args.max_vs_event:.2f}x)"
+        )
+    if failures:
+        for failure in failures:
+            print(f"obs-overhead: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("obs-overhead: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
